@@ -1,0 +1,208 @@
+//! Extension / ablation studies beyond the paper's shipped design.
+//!
+//! * [`slow_light_study`] — §7.5: what slow-light delay lines would buy
+//!   (area) and cost (laser power) if their loss were accepted.
+//! * [`batch_study`] — §4.1.3 extended: weight-stationary batch
+//!   interleaving vs optical input reuse — which DAC population is worth
+//!   idling?
+
+use crate::area::area_breakdown;
+use crate::config::{AcceleratorConfig, OpticalBufferKind};
+use crate::dse::{design_point, Variant, PHOTONIC_AREA_BUDGET_MM2};
+use crate::simulator::simulate;
+use refocus_nn::layer::Network;
+use refocus_nn::tiling::TilingError;
+use refocus_photonics::buffer::FeedbackBuffer;
+use refocus_photonics::components::{DelayLine, SlowLightDelayLine};
+use refocus_photonics::units::GigaHertz;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of replacing the spiral delay lines with slow-light lines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowLightStudy {
+    /// Delay length in cycles.
+    pub delay_cycles: u32,
+    /// RFCUs placeable with conventional spirals (150 mm² budget).
+    pub spiral_rfcus: usize,
+    /// RFCUs placeable with slow-light lines (spiral area / slowdown).
+    pub slow_light_rfcus: usize,
+    /// Delay-bank area with spirals (mm², 256 lines).
+    pub spiral_bank_area_mm2: f64,
+    /// Delay-bank area with slow light (mm²).
+    pub slow_light_bank_area_mm2: f64,
+    /// ReFOCUS-FB relative laser power with spiral lines (Table 5 math).
+    pub spiral_laser_overhead: f64,
+    /// ReFOCUS-FB relative laser power with slow-light lines.
+    pub slow_light_laser_overhead: f64,
+}
+
+/// Feedback-buffer laser overhead for an arbitrary delay-line power
+/// transmission (the Table 5 closed form with `ρ = (1-α)·t`).
+pub fn feedback_laser_overhead(reuses: u32, transmission: f64) -> f64 {
+    let alpha = FeedbackBuffer::optimal_split_ratio(reuses);
+    let rho = (1.0 - alpha) * transmission;
+    1.0 / (alpha * (reuses + 1) as f64 * rho.powi(reuses as i32))
+}
+
+/// Runs the §7.5 slow-light study at delay length `m` with the reference
+/// \[9\]-class line.
+pub fn slow_light_study(m: u32) -> SlowLightStudy {
+    let clock = GigaHertz::new(10.0);
+    let spiral = DelayLine::for_cycles(m, clock);
+    let slow = SlowLightDelayLine::reference(m, clock);
+
+    let spiral_rfcus = crate::dse::max_rfcus(Variant::FeedBack, m, PHOTONIC_AREA_BUDGET_MM2);
+    // Slow-light placement: same per-RFCU area, delay bank shrunk by the
+    // slowdown factor.
+    let saved = (spiral.area().value() - slow.area().value()) * 256.0;
+    let mut slow_rfcus = spiral_rfcus;
+    loop {
+        let cfg = design_point(Variant::FeedBack, m, slow_rfcus + 1);
+        let area = area_breakdown(&cfg).photonic().value() - saved;
+        if area <= PHOTONIC_AREA_BUDGET_MM2 {
+            slow_rfcus += 1;
+        } else {
+            break;
+        }
+    }
+
+    SlowLightStudy {
+        delay_cycles: m,
+        spiral_rfcus,
+        slow_light_rfcus: slow_rfcus,
+        spiral_bank_area_mm2: spiral.area().value() * 256.0,
+        slow_light_bank_area_mm2: slow.area().value() * 256.0,
+        spiral_laser_overhead: feedback_laser_overhead(15, spiral.transmission()),
+        slow_light_laser_overhead: feedback_laser_overhead(15, slow.transmission()),
+    }
+}
+
+/// One row of the batch study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRow {
+    /// Batch size.
+    pub batch: usize,
+    /// Whether optical input reuse is active (only at batch 1).
+    pub optical_reuse: bool,
+    /// Throughput (FPS).
+    pub fps: f64,
+    /// Average power (W).
+    pub power_w: f64,
+    /// Power efficiency.
+    pub fps_per_watt: f64,
+    /// Weight-DAC power (W).
+    pub weight_dac_w: f64,
+    /// Input-DAC power (W).
+    pub input_dac_w: f64,
+}
+
+/// Sweeps batch sizes on `network`: batch 1 runs ReFOCUS-FB (optical
+/// reuse); batch > 1 runs weight-stationary interleaving (no optical
+/// reuse — delay lines cannot hold per-image signals across the
+/// interleave).
+///
+/// # Errors
+///
+/// Returns [`TilingError`] if the network cannot map.
+pub fn batch_study(network: &Network, batches: &[usize]) -> Result<Vec<BatchRow>, TilingError> {
+    let mut rows = Vec::with_capacity(batches.len());
+    for &batch in batches {
+        let cfg = if batch <= 1 {
+            AcceleratorConfig::refocus_fb()
+        } else {
+            AcceleratorConfig {
+                name: format!("ReFOCUS batch-{batch}"),
+                batch,
+                // Weight-stationary interleaving forfeits the optical
+                // buffer; keep the delay lines for temporal accumulation.
+                optical_buffer: OpticalBufferKind::None,
+                ..AcceleratorConfig::refocus_fb()
+            }
+        };
+        let r = simulate(network, &cfg)?;
+        rows.push(BatchRow {
+            batch: batch.max(1),
+            optical_reuse: batch <= 1,
+            fps: r.metrics.fps,
+            power_w: r.metrics.power_w,
+            fps_per_watt: r.metrics.fps_per_watt(),
+            weight_dac_w: r.energy.weight_dac.value() / r.metrics.latency_s,
+            input_dac_w: r.energy.input_dac.value() / r.metrics.latency_s,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refocus_nn::models;
+
+    #[test]
+    fn slow_light_fits_more_rfcus_but_costs_laser_power() {
+        let s = slow_light_study(16);
+        assert_eq!(s.spiral_rfcus, 18);
+        assert!(
+            s.slow_light_rfcus > s.spiral_rfcus,
+            "slow light should free area: {s:?}"
+        );
+        // Bank shrinks by the 10x slowdown.
+        assert!(
+            (s.spiral_bank_area_mm2 / s.slow_light_bank_area_mm2 - 10.0).abs() < 1e-6
+        );
+        // §7.5's caveat quantified: laser overhead explodes with the loss.
+        assert!(s.spiral_laser_overhead < 4.0);
+        assert!(
+            s.slow_light_laser_overhead > 2.0 * s.spiral_laser_overhead,
+            "slow-light overhead = {}",
+            s.slow_light_laser_overhead
+        );
+    }
+
+    #[test]
+    fn longer_delays_amplify_the_slow_light_tradeoff() {
+        let short = slow_light_study(4);
+        let long = slow_light_study(32);
+        assert!(
+            long.slow_light_laser_overhead / long.spiral_laser_overhead
+                > short.slow_light_laser_overhead / short.spiral_laser_overhead
+        );
+    }
+
+    #[test]
+    fn batch_interleaving_cuts_weight_dac_power() {
+        let net = models::resnet34();
+        let rows = batch_study(&net, &[1, 4, 16]).unwrap();
+        assert!(rows[0].optical_reuse);
+        assert!(!rows[2].optical_reuse);
+        // Weight DACs idle with batch.
+        assert!(rows[2].weight_dac_w < rows[0].weight_dac_w / 3.0);
+        // But input DACs wake up (no optical reuse).
+        assert!(rows[2].input_dac_w > rows[0].input_dac_w);
+        // Throughput is unchanged (same cycles per image).
+        assert!((rows[2].fps - rows[0].fps).abs() / rows[0].fps < 1e-9);
+    }
+
+    #[test]
+    fn large_batches_beat_light_reuse_when_weight_dacs_dominate() {
+        // On ResNet-34 the FB design is weight-DAC-bound (§7.3: 42% of
+        // system power), so trading input reuse for weight stationarity
+        // wins at large batch.
+        let net = models::resnet34();
+        let rows = batch_study(&net, &[1, 16]).unwrap();
+        assert!(
+            rows[1].fps_per_watt > rows[0].fps_per_watt,
+            "batch16 {} vs fb {}",
+            rows[1].fps_per_watt,
+            rows[0].fps_per_watt
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_buffer_model_for_spiral() {
+        let spiral = DelayLine::for_cycles(16, GigaHertz::new(10.0));
+        let buf = FeedbackBuffer::refocus_fb();
+        let direct = feedback_laser_overhead(15, spiral.transmission());
+        assert!((direct - buf.relative_laser_power()).abs() < 1e-9);
+    }
+}

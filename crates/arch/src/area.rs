@@ -1,0 +1,280 @@
+//! Chip-area model (Fig. 3b, Fig. 9, Table 2, and the Table 4 area budget).
+//!
+//! Component footprints come from the paper's Table 6, with two calibrated
+//! values documented in DESIGN.md §2:
+//!
+//! * the **effective lens area** is 1.83 mm² (Fig. 9 reports 58.5 mm² for
+//!   32 shared lenses; Table 6's nominal 2 mm² is kept as
+//!   `Lens::DEFAULT_AREA`), and
+//! * a **nonlinear-material + routing overhead** of 1.472 mm² per RFCU plus
+//!   a 0.24 mm² WDM encoder overhead per extra wavelength close the gap to
+//!   the paper's reported totals. This calibration simultaneously
+//!   reproduces the baseline's 90.7 mm² photonic area, Fig. 9's 135.7 mm²,
+//!   and Table 4's entire `N_RFCU` row under the 150 mm² budget.
+
+use crate::config::AcceleratorConfig;
+use crate::rfcu::ComponentCounts;
+use refocus_memsim::buffers::{BufferParams, DataBuffers, DataflowCase};
+use refocus_memsim::sram::{Sram, KIB, MIB};
+use refocus_photonics::components::{DelayLine, Laser, Mrr, Photodetector, YJunction};
+use refocus_photonics::units::{SquareMillimeters, SquareMicrometers};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Calibrated effective lens footprint (DESIGN.md §2).
+pub const EFFECTIVE_LENS_AREA: SquareMicrometers = SquareMicrometers::new(1.83e6);
+/// Calibrated per-RFCU nonlinear material + waveguide routing overhead.
+pub const ROUTING_OVERHEAD_PER_RFCU: SquareMillimeters = SquareMillimeters::new(1.472);
+/// Calibrated WDM encoder/drive overhead per extra wavelength per RFCU.
+pub const WDM_OVERHEAD_PER_WAVELENGTH: SquareMillimeters = SquareMillimeters::new(0.24);
+/// ADC footprint from \[35\]: 2850 µm².
+pub const ADC_AREA: SquareMicrometers = SquareMicrometers::new(2850.0);
+/// Compact switched-capacitor DAC footprint (estimated from \[7\]).
+pub const DAC_AREA: SquareMicrometers = SquareMicrometers::new(3000.0);
+/// CMOS compute unit footprint (Genus-substitute calibration).
+pub const CCU_AREA: SquareMillimeters = SquareMillimeters::new(0.29);
+
+/// Per-category chip-area breakdown in mm².
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// On-chip Fourier lenses.
+    pub lenses: SquareMillimeters,
+    /// Optical delay lines.
+    pub delay_lines: SquareMillimeters,
+    /// Photodetectors.
+    pub photodetectors: SquareMillimeters,
+    /// All MRRs (input, weight, switch).
+    pub mrrs: SquareMillimeters,
+    /// Laser sources.
+    pub lasers: SquareMillimeters,
+    /// Y-junction trees and buffer junctions.
+    pub y_junctions: SquareMillimeters,
+    /// Nonlinear material + waveguide routing overhead (calibrated).
+    pub routing: SquareMillimeters,
+    /// WDM encoder overhead (calibrated).
+    pub wdm_overhead: SquareMillimeters,
+    /// SRAM (activation + weight) and data buffers.
+    pub sram: SquareMillimeters,
+    /// Data converters (ADCs + DACs).
+    pub converters: SquareMillimeters,
+    /// CMOS compute units.
+    pub cmos: SquareMillimeters,
+}
+
+impl AreaBreakdown {
+    /// Photonic-only total (the paper's 150 mm² budget applies to this).
+    pub fn photonic(&self) -> SquareMillimeters {
+        self.lenses
+            + self.delay_lines
+            + self.photodetectors
+            + self.mrrs
+            + self.lasers
+            + self.y_junctions
+            + self.routing
+            + self.wdm_overhead
+    }
+
+    /// Non-photonic total (SRAM + converters + CMOS).
+    pub fn electronic(&self) -> SquareMillimeters {
+        self.sram + self.converters + self.cmos
+    }
+
+    /// Whole-chip total.
+    pub fn total(&self) -> SquareMillimeters {
+        self.photonic() + self.electronic()
+    }
+
+    /// `(label, mm²)` rows for rendering, photonic first.
+    pub fn rows(&self) -> Vec<(&'static str, SquareMillimeters)> {
+        vec![
+            ("lenses", self.lenses),
+            ("delay lines", self.delay_lines),
+            ("photodetectors", self.photodetectors),
+            ("MRRs", self.mrrs),
+            ("lasers", self.lasers),
+            ("Y-junctions", self.y_junctions),
+            ("routing + nonlinear", self.routing),
+            ("WDM overhead", self.wdm_overhead),
+            ("SRAM + buffers", self.sram),
+            ("converters", self.converters),
+            ("CMOS logic", self.cmos),
+        ]
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, area) in self.rows() {
+            writeln!(f, "{label:>20}: {:>8.2}", area)?;
+        }
+        writeln!(f, "{:>20}: {:>8.2}", "photonic total", self.photonic())?;
+        write!(f, "{:>20}: {:>8.2}", "chip total", self.total())
+    }
+}
+
+/// Computes the area breakdown of a configured system.
+pub fn area_breakdown(config: &AcceleratorConfig) -> AreaBreakdown {
+    let counts = ComponentCounts::of(config);
+    let mrr = Mrr::new();
+    let pd = Photodetector::new();
+    let laser = Laser::new();
+    let yj = YJunction::new();
+
+    let per = |unit: SquareMicrometers, n: usize| -> SquareMillimeters {
+        (unit * n as f64).to_square_millimeters()
+    };
+
+    let delay_lines = if counts.delay_lines > 0 {
+        let dl = DelayLine::for_cycles(config.delay_cycles.max(1), config.clock);
+        dl.area() * counts.delay_lines as f64
+    } else {
+        SquareMillimeters::ZERO
+    };
+
+    let wdm_overhead = if config.wavelengths > 1 {
+        WDM_OVERHEAD_PER_WAVELENGTH * ((config.wavelengths - 1) * config.rfcus) as f64
+    } else {
+        SquareMillimeters::ZERO
+    };
+
+    let sram = sram_area(config);
+
+    AreaBreakdown {
+        lenses: per(EFFECTIVE_LENS_AREA, counts.lenses),
+        delay_lines,
+        photodetectors: per(pd.area(), counts.photodetectors),
+        mrrs: per(mrr.area(), counts.total_mrrs()),
+        lasers: per(laser.area(), counts.lasers),
+        y_junctions: per(yj.area(), counts.y_junctions),
+        routing: ROUTING_OVERHEAD_PER_RFCU * config.rfcus as f64,
+        wdm_overhead,
+        sram,
+        converters: per(ADC_AREA, counts.adcs) + per(DAC_AREA, counts.total_dacs()),
+        cmos: CCU_AREA * counts.ccus as f64,
+    }
+}
+
+/// SRAM + data-buffer area of a configuration.
+fn sram_area(config: &AcceleratorConfig) -> SquareMillimeters {
+    let activation = Sram::new(4 * MIB).area();
+    let weights = Sram::new(512 * KIB).area() * config.rfcus as f64;
+    let buffers = if config.sram_buffers {
+        let params = BufferParams {
+            tile: config.tile,
+            delay_cycles: config.delay_cycles.max(1) as usize,
+            wavelengths: config.wavelengths,
+            reuses: (config.max_input_uses() - 1) as usize,
+            rfcus: config.rfcus,
+            max_filters: 512,
+            max_channels: 512,
+            ping_pong: true,
+        };
+        let b = DataBuffers::size(DataflowCase::NextFilter, &params);
+        // One shared input buffer + per-RFCU output buffers.
+        Sram::new(b.input_bytes()).area()
+            + Sram::new(b.output_bytes()).area() * config.rfcus as f64
+    } else {
+        SquareMillimeters::ZERO
+    };
+    activation + weights + buffers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+
+    #[test]
+    fn refocus_photonic_area_matches_fig9() {
+        let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+        let photonic = a.photonic().value();
+        assert!(
+            (photonic - 135.7).abs() < 2.0,
+            "photonic = {photonic}, paper: 135.7"
+        );
+    }
+
+    #[test]
+    fn refocus_total_area_matches_fig9() {
+        let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+        let total = a.total().value();
+        assert!((total - 171.1).abs() < 6.0, "total = {total}, paper: 171.1");
+    }
+
+    #[test]
+    fn fig9_lens_and_delay_dominate_photonics() {
+        let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+        assert!((a.lenses.value() - 58.5).abs() < 0.2, "lenses = {}", a.lenses);
+        assert!((a.delay_lines.value() - 41.0).abs() < 0.2, "delay = {}", a.delay_lines);
+        // Together more than 70% of photonics.
+        let frac = (a.lenses + a.delay_lines) / a.photonic();
+        assert!(frac > 0.7, "frac = {frac}");
+    }
+
+    #[test]
+    fn fig9_sram_area() {
+        let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+        assert!((a.sram.value() - 12.4).abs() < 1.0, "sram = {}", a.sram);
+    }
+
+    #[test]
+    fn baseline_photonic_matches_section3() {
+        let a = area_breakdown(&AcceleratorConfig::photofourier_baseline());
+        let photonic = a.photonic().value();
+        assert!(
+            (photonic - 90.7).abs() < 1.5,
+            "photonic = {photonic}, paper: 90.7"
+        );
+        // The paper's baseline electronics (25.6 mm2) are ~10 mm2 smaller
+        // than ReFOCUS's (35.4 mm2) with identical converter counts; our
+        // model keeps one CMOS sizing, so the total lands high. See
+        // EXPERIMENTS.md on the Table 2 / Fig 9 / §3 inconsistencies.
+        let total = a.total().value();
+        assert!((total - 116.3).abs() < 12.0, "total = {total}, paper: 116.3");
+    }
+
+    #[test]
+    fn baseline_lens_share_over_half_of_photonics() {
+        // Fig. 3b: lens area dominates, >50% of photonic area.
+        let a = area_breakdown(&AcceleratorConfig::photofourier_baseline());
+        assert!(a.lenses / a.photonic() > 0.5);
+    }
+
+    #[test]
+    fn ff_and_fb_have_same_area() {
+        // §6.1: the two versions share the same area (switch MRRs and the
+        // extra Y-junctions are negligibly small and nearly offset).
+        let ff = area_breakdown(&AcceleratorConfig::refocus_ff()).total().value();
+        let fb = area_breakdown(&AcceleratorConfig::refocus_fb()).total().value();
+        assert!((ff - fb).abs() / fb < 0.005, "ff = {ff}, fb = {fb}");
+    }
+
+    #[test]
+    fn table2_wdm_area_overhead_is_small() {
+        // Adding the second wavelength costs ~3.5% of system area (Table 2).
+        let mut one = AcceleratorConfig::refocus_ff();
+        one.wavelengths = 1;
+        let a1 = area_breakdown(&one).total().value();
+        let a2 = area_breakdown(&AcceleratorConfig::refocus_ff()).total().value();
+        let overhead = (a2 - a1) / a1;
+        assert!(
+            overhead > 0.005 && overhead < 0.05,
+            "overhead = {overhead} (paper: 3.5%)"
+        );
+    }
+
+    #[test]
+    fn breakdown_rows_sum_to_total() {
+        let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+        let sum: f64 = a.rows().iter().map(|(_, v)| v.value()).sum();
+        assert!((sum - a.total().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders() {
+        let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+        let s = a.to_string();
+        assert!(s.contains("lenses"));
+        assert!(s.contains("photonic total"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Memory-traffic derivation for the alternating OS-IS dataflow (§5.2/§5.3).
+//!
+//! The single source of byte counts per memory level for one layer;
+//! [`crate::energy`] maps these bytes to joules with the `memsim` macro
+//! models. Splitting traffic from energy keeps the dataflow auditable: the
+//! integration tests recompute energies from this [`Traffic`] through
+//! [`refocus_memsim::Hierarchy`] and require agreement with the energy
+//! model.
+//!
+//! Accounting rules (one inference *pass* = `batch` images):
+//!
+//! * **Weight SRAM** feeds the weight DACs: `k²·N_λ` bytes per RFCU per
+//!   weight-load cycle, shrunk by weight sharing.
+//! * **With data buffers** (§5.2): the activation SRAM is touched once per
+//!   unique input element (buffer fills, with the row-overlap factor) plus
+//!   final output writes; the *input buffer* absorbs the per-generation
+//!   traffic; the *output buffer* absorbs partial-sum read-modify-writes
+//!   whenever optical reuse interleaves filter iterations.
+//! * **Without data buffers**: generation traffic hits the activation SRAM
+//!   directly (the §3 baseline's pain), and partial sums park in a small
+//!   per-RFCU accumulator charged at buffer-class cost.
+//! * **DRAM** (§7.3, opt-in): one weight stream per pass.
+
+use crate::config::AcceleratorConfig;
+use crate::perf::LayerPerf;
+use refocus_memsim::hierarchy::Traffic;
+use refocus_nn::layer::ConvSpec;
+
+/// Bytes per partial-sum word in the output accumulators.
+pub const PARTIAL_SUM_BYTES: u64 = 2;
+
+/// ADC readout count for a layer: every `effective_ta` cycles, each valid
+/// output waveguide of each RFCU converts once.
+pub fn readouts(perf: &LayerPerf, config: &AcceleratorConfig) -> u64 {
+    let active = (config.tile * config.rfcus) as f64 * perf.valid_output_fraction;
+    ((perf.cycles / perf.effective_ta) as f64 * active) as u64
+}
+
+/// Derives the full traffic record of one layer.
+pub fn layer_traffic(layer: &ConvSpec, perf: &LayerPerf, config: &AcceleratorConfig) -> Traffic {
+    let cycles = perf.cycles as f64;
+    let gen_cycles = perf.generation_cycles as f64;
+    let nl = config.wavelengths as f64;
+
+    let weight_sram = (cycles
+        * perf.plan.weight_conversions_per_pass as f64
+        * nl
+        * config.rfcus as f64
+        * perf.weight_load_fraction
+        / config.weight_compression) as u64;
+
+    let per_gen_bytes = perf.plan.input_conversions_per_pass as f64 * nl;
+    let overlap =
+        (perf.plan.rows_per_pass as f64 / perf.plan.valid_rows_per_pass.max(1) as f64).max(1.0);
+    let final_bytes = layer.output_elems() * perf.images;
+    let partial_bytes = if perf.input_uses > 1 {
+        readouts(perf, config) * PARTIAL_SUM_BYTES * 2
+    } else {
+        0
+    };
+
+    let (activation_sram, input_buffer, output_buffer) = if config.sram_buffers {
+        let fills = (layer.input_elems() as f64 * perf.images as f64 * overlap) as u64;
+        (
+            fills + final_bytes,
+            (gen_cycles * per_gen_bytes) as u64 + fills,
+            partial_bytes,
+        )
+    } else {
+        (
+            (gen_cycles * per_gen_bytes) as u64 + final_bytes,
+            0,
+            // Partials still park in the small per-RFCU accumulator —
+            // buffer-class traffic even without staging data buffers.
+            partial_bytes,
+        )
+    };
+
+    let dram = if config.include_dram {
+        (layer.params() as f64 / config.weight_compression) as u64
+    } else {
+        0
+    };
+
+    Traffic {
+        activation_sram,
+        weight_sram,
+        input_buffer,
+        output_buffer,
+        dram,
+    }
+}
+
+/// Sums traffic over a whole network.
+pub fn network_traffic(
+    network: &refocus_nn::layer::Network,
+    perf: &crate::perf::NetworkPerf,
+    config: &AcceleratorConfig,
+) -> Traffic {
+    network
+        .layers()
+        .iter()
+        .zip(&perf.layers)
+        .map(|(layer, lp)| layer_traffic(layer, lp, config))
+        .fold(Traffic::default(), |acc, t| acc.merged(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::NetworkPerf;
+    use refocus_nn::models;
+
+    fn layer() -> ConvSpec {
+        ConvSpec::new("t", 64, 128, 3, 1, 1, (28, 28))
+    }
+
+    #[test]
+    fn buffers_redirect_generation_traffic() {
+        let with = AcceleratorConfig::refocus_fb();
+        let mut without = AcceleratorConfig::refocus_fb();
+        without.sram_buffers = false;
+        let l = layer();
+        let p = LayerPerf::analyze(&l, &with).unwrap();
+        let tw = layer_traffic(&l, &p, &with);
+        let to = layer_traffic(&l, &p, &without);
+        // With buffers, the activation SRAM sees only fills + finals.
+        assert!(tw.activation_sram < to.activation_sram + tw.input_buffer);
+        assert!(tw.input_buffer > 0);
+        assert_eq!(to.input_buffer, 0);
+    }
+
+    #[test]
+    fn optical_reuse_cuts_input_buffer_traffic() {
+        let l = layer();
+        let fb = AcceleratorConfig::refocus_fb();
+        let base = AcceleratorConfig {
+            optical_buffer: crate::config::OpticalBufferKind::None,
+            delay_cycles: 16,
+            ..fb.clone()
+        };
+        let pf = LayerPerf::analyze(&l, &fb).unwrap();
+        let pb = LayerPerf::analyze(&l, &base).unwrap();
+        let tf = layer_traffic(&l, &pf, &fb);
+        let tb = layer_traffic(&l, &pb, &base);
+        assert!(tf.input_buffer < tb.input_buffer);
+    }
+
+    #[test]
+    fn weight_sharing_divides_weight_bytes() {
+        let l = layer();
+        let plain = AcceleratorConfig::refocus_fb();
+        let mut shared = plain.clone();
+        shared.weight_compression = 4.5;
+        shared.include_dram = true;
+        let mut plain_dram = plain.clone();
+        plain_dram.include_dram = true;
+        let p = LayerPerf::analyze(&l, &plain).unwrap();
+        let tp = layer_traffic(&l, &p, &plain_dram);
+        let ts = layer_traffic(&l, &p, &shared);
+        let ratio = tp.weight_sram as f64 / ts.weight_sram as f64;
+        assert!((ratio - 4.5).abs() < 0.01, "ratio = {ratio}");
+        let dram_ratio = tp.dram as f64 / ts.dram as f64;
+        assert!((dram_ratio - 4.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn dram_only_when_enabled() {
+        let l = layer();
+        let cfg = AcceleratorConfig::refocus_fb();
+        let p = LayerPerf::analyze(&l, &cfg).unwrap();
+        assert_eq!(layer_traffic(&l, &p, &cfg).dram, 0);
+        let mut on = cfg.clone();
+        on.include_dram = true;
+        assert_eq!(layer_traffic(&l, &p, &on).dram, l.params());
+    }
+
+    #[test]
+    fn network_traffic_sums_layers() {
+        let cfg = AcceleratorConfig::refocus_fb();
+        let net = models::resnet18();
+        let perf = NetworkPerf::analyze(&net, &cfg).unwrap();
+        let total = network_traffic(&net, &perf, &cfg);
+        let manual: u64 = net
+            .layers()
+            .iter()
+            .zip(&perf.layers)
+            .map(|(l, p)| layer_traffic(l, p, &cfg).weight_sram)
+            .sum();
+        assert_eq!(total.weight_sram, manual);
+        assert!(total.activation_sram > 0);
+    }
+
+    #[test]
+    fn partials_appear_only_with_interleaved_reuse() {
+        let l = layer();
+        let fb = AcceleratorConfig::refocus_fb();
+        let none = AcceleratorConfig {
+            optical_buffer: crate::config::OpticalBufferKind::None,
+            delay_cycles: 16,
+            ..fb.clone()
+        };
+        let pf = LayerPerf::analyze(&l, &fb).unwrap();
+        let pn = LayerPerf::analyze(&l, &none).unwrap();
+        assert!(layer_traffic(&l, &pf, &fb).output_buffer > 0);
+        assert_eq!(layer_traffic(&l, &pn, &none).output_buffer, 0);
+    }
+}

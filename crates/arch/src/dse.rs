@@ -1,0 +1,239 @@
+//! Design-space exploration under the photonic area budget (Table 4).
+//!
+//! For each delay-line length `M`, the largest RFCU count whose *photonic*
+//! area fits the 150 mm² budget is found, then the FF and FB variants are
+//! simulated over the four DSE CNNs (VGG-16, ResNet-18/34/50) and compared
+//! to the `M = 1` row. The paper's result: FPS/W grows with `M` (longer
+//! temporal accumulation → slower ADCs) while FPS/mm² shrinks (delay lines
+//! eat RFCUs), and the PAP product peaks at `M = 16` with 18 placeable
+//! RFCUs — which is why ReFOCUS ships with 16 (the nearest power of two).
+
+use crate::area::area_breakdown;
+use crate::config::{AcceleratorConfig, OpticalBufferKind};
+use crate::metrics::geomean_ratio;
+use crate::simulator::simulate_suite;
+use refocus_nn::layer::Network;
+use refocus_nn::tiling::TilingError;
+use serde::{Deserialize, Serialize};
+
+/// The paper's photonic area budget (§5.4.1).
+pub const PHOTONIC_AREA_BUDGET_MM2: f64 = 150.0;
+
+/// The delay-line lengths Table 4 sweeps.
+pub const TABLE4_DELAY_CYCLES: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One row of the Table 4 sweep for one buffer variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DseRow {
+    /// Delay-line length in cycles.
+    pub delay_cycles: u32,
+    /// RFCUs placeable within the budget.
+    pub rfcus: usize,
+    /// Geomean FPS/W relative to the `M = 1` row.
+    pub relative_fps_per_watt: f64,
+    /// Geomean FPS/mm² relative to the `M = 1` row.
+    pub relative_fps_per_mm2: f64,
+    /// Geomean PAP relative to the `M = 1` row.
+    pub relative_pap: f64,
+    /// Absolute geomean FPS/W (the paper prints the `M = 1` absolute).
+    pub fps_per_watt: f64,
+    /// Absolute geomean FPS/mm².
+    pub fps_per_mm2: f64,
+}
+
+/// The buffer variant a sweep explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// Feedforward buffer (reuse once).
+    FeedForward,
+    /// Feedback buffer (R = 15 optimal-split reuse).
+    FeedBack,
+}
+
+/// Builds the design point for a variant at delay length `M` with `n`
+/// RFCUs. Temporal accumulation tracks the delay line (§4.1.4), capped at
+/// the paper's 16-cycle ADC design for the shipped configuration but
+/// allowed to follow `M` in the sweep.
+pub fn design_point(variant: Variant, delay_cycles: u32, rfcus: usize) -> AcceleratorConfig {
+    let base = AcceleratorConfig::refocus_ff();
+    AcceleratorConfig {
+        name: format!(
+            "{}(M={delay_cycles},N={rfcus})",
+            match variant {
+                Variant::FeedForward => "FF",
+                Variant::FeedBack => "FB",
+            }
+        ),
+        rfcus,
+        delay_cycles,
+        temporal_accumulation: delay_cycles,
+        optical_buffer: match variant {
+            Variant::FeedForward => OpticalBufferKind::FeedForward,
+            Variant::FeedBack => OpticalBufferKind::FeedBack { reuses: 15 },
+        },
+        ..base
+    }
+}
+
+/// Largest RFCU count whose photonic area fits `budget_mm2` at delay
+/// length `M`.
+///
+/// # Panics
+///
+/// Panics if not even one RFCU fits.
+pub fn max_rfcus(variant: Variant, delay_cycles: u32, budget_mm2: f64) -> usize {
+    let mut n = 1usize;
+    let fits = |n: usize| {
+        let cfg = design_point(variant, delay_cycles, n);
+        area_breakdown(&cfg).photonic().value() <= budget_mm2
+    };
+    assert!(fits(1), "not even one RFCU fits the {budget_mm2} mm2 budget");
+    while fits(n + 1) {
+        n += 1;
+    }
+    n
+}
+
+/// Runs the full Table 4 sweep for one variant over `suite`.
+///
+/// # Errors
+///
+/// Returns [`TilingError`] if a workload cannot map.
+pub fn sweep(variant: Variant, suite: &[Network]) -> Result<Vec<DseRow>, TilingError> {
+    sweep_with_budget(variant, suite, PHOTONIC_AREA_BUDGET_MM2)
+}
+
+/// [`sweep`] with an explicit photonic area budget.
+///
+/// # Errors
+///
+/// Returns [`TilingError`] if a workload cannot map.
+pub fn sweep_with_budget(
+    variant: Variant,
+    suite: &[Network],
+    budget_mm2: f64,
+) -> Result<Vec<DseRow>, TilingError> {
+    // Per-network metric vectors for each M.
+    let mut rows = Vec::with_capacity(TABLE4_DELAY_CYCLES.len());
+    let mut per_m: Vec<(u32, usize, Vec<f64>, Vec<f64>)> = Vec::new();
+    for &m in &TABLE4_DELAY_CYCLES {
+        let n = max_rfcus(variant, m, budget_mm2);
+        let cfg = design_point(variant, m, n);
+        let report = simulate_suite(suite, &cfg)?;
+        let fps_w: Vec<f64> = report
+            .reports
+            .iter()
+            .map(|r| r.metrics.fps_per_watt())
+            .collect();
+        let fps_mm2: Vec<f64> = report
+            .reports
+            .iter()
+            .map(|r| r.metrics.fps_per_mm2())
+            .collect();
+        per_m.push((m, n, fps_w, fps_mm2));
+    }
+    let (_, _, base_w, base_mm2) = per_m[0].clone();
+    for (m, n, fps_w, fps_mm2) in per_m {
+        let rel_w = geomean_ratio(&fps_w, &base_w);
+        let rel_mm2 = geomean_ratio(&fps_mm2, &base_mm2);
+        rows.push(DseRow {
+            delay_cycles: m,
+            rfcus: n,
+            relative_fps_per_watt: rel_w,
+            relative_fps_per_mm2: rel_mm2,
+            relative_pap: rel_w * rel_mm2,
+            fps_per_watt: crate::metrics::geomean(&fps_w),
+            fps_per_mm2: crate::metrics::geomean(&fps_mm2),
+        });
+    }
+    Ok(rows)
+}
+
+/// The PAP-optimal row of a sweep.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty.
+pub fn optimal_row(rows: &[DseRow]) -> &DseRow {
+    rows.iter()
+        .max_by(|a, b| a.relative_pap.total_cmp(&b.relative_pap))
+        .expect("non-empty sweep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refocus_nn::models;
+
+    #[test]
+    fn table4_rfcu_counts_reproduced() {
+        // Paper Table 4: N_RFCU = 25, 24, 23, 21, 18, 11 for
+        // M = 1, 2, 4, 8, 16, 32.
+        let want = [25usize, 24, 23, 21, 18, 11];
+        for (&m, &n) in TABLE4_DELAY_CYCLES.iter().zip(&want) {
+            let got = max_rfcus(Variant::FeedForward, m, PHOTONIC_AREA_BUDGET_MM2);
+            assert_eq!(got, n, "M = {m}");
+        }
+    }
+
+    #[test]
+    fn ff_and_fb_place_the_same_rfcus() {
+        // Table 4 shows one shared N_RFCU row: the buffers' area delta is
+        // negligible.
+        for &m in &TABLE4_DELAY_CYCLES {
+            assert_eq!(
+                max_rfcus(Variant::FeedForward, m, PHOTONIC_AREA_BUDGET_MM2),
+                max_rfcus(Variant::FeedBack, m, PHOTONIC_AREA_BUDGET_MM2),
+                "M = {m}"
+            );
+        }
+    }
+
+    // The full sweep is exercised (and compared to the paper row by row)
+    // in the experiments crate; here a reduced suite keeps the test fast.
+    #[test]
+    fn sweep_shape_matches_paper() {
+        let suite = [models::resnet34()];
+        let rows = sweep(Variant::FeedForward, &suite).unwrap();
+        assert_eq!(rows.len(), 6);
+        // M = 1 row is the reference.
+        assert!((rows[0].relative_fps_per_watt - 1.0).abs() < 1e-9);
+        assert!((rows[0].relative_pap - 1.0).abs() < 1e-9);
+        // FPS/W increases monotonically with M through the paper's optimum
+        // at M = 16; at M = 32 the paper sees a ±5% plateau (FF up 4.7%,
+        // FB down 0.6%), so only near-flatness is asserted there.
+        for pair in rows[..5].windows(2) {
+            assert!(
+                pair[1].relative_fps_per_watt > pair[0].relative_fps_per_watt,
+                "M={} -> M={}",
+                pair[0].delay_cycles,
+                pair[1].delay_cycles
+            );
+        }
+        let plateau = rows[5].relative_fps_per_watt / rows[4].relative_fps_per_watt;
+        assert!((0.8..1.2).contains(&plateau), "M=32 plateau = {plateau}");
+        // FPS/mm² decreases beyond M = 2.
+        for pair in rows[1..].windows(2) {
+            assert!(pair[1].relative_fps_per_mm2 <= pair[0].relative_fps_per_mm2);
+        }
+        // PAP peaks at M = 16 (the paper's design choice).
+        let best = optimal_row(&rows);
+        assert_eq!(best.delay_cycles, 16, "rows: {rows:#?}");
+    }
+
+    #[test]
+    fn fb_sweep_also_peaks_at_16() {
+        let suite = [models::resnet34()];
+        let rows = sweep(Variant::FeedBack, &suite).unwrap();
+        assert_eq!(optimal_row(&rows).delay_cycles, 16);
+    }
+
+    #[test]
+    fn design_point_round_trip() {
+        let cfg = design_point(Variant::FeedBack, 8, 21);
+        assert_eq!(cfg.rfcus, 21);
+        assert_eq!(cfg.delay_cycles, 8);
+        assert_eq!(cfg.temporal_accumulation, 8);
+        cfg.validate().unwrap();
+    }
+}

@@ -1,0 +1,364 @@
+//! Functional execution: real numbers through the optical path.
+//!
+//! The performance/energy models trust that the optics compute the right
+//! thing; this module proves it. [`OpticalExecutor`] runs a convolution
+//! layer exactly the way the architecture does — pseudo-negative filter
+//! split, row tiling onto the JTC plane, one optical pass per
+//! (chunk, channel, filter, half), channel accumulation, digital recombine
+//! — with every 1-D pass going through the *field-level* JTC model of
+//! [`refocus_photonics::jtc`], optionally with 8-bit converters and
+//! feedback-buffer attenuation + weight rescaling (§4.1.1).
+
+use crate::config::AcceleratorConfig;
+use refocus_nn::conv::ConvError;
+use refocus_nn::quant::PseudoNegativeSplit;
+use refocus_nn::tensor::{Tensor3, Tensor4};
+use refocus_nn::tiling::{tiled_conv2d_with, TilingError, TilingMode};
+use refocus_photonics::buffer::FeedbackBuffer;
+use refocus_photonics::jtc::Jtc;
+use std::fmt;
+
+/// Errors from functional execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionalError {
+    /// Input activations must be non-negative (optical powers); run the
+    /// preceding ReLU first.
+    NegativeActivation,
+    /// Shape mismatch between input and weights.
+    Shape(ConvError),
+    /// The layer cannot tile onto the configured JTC.
+    Tiling(TilingError),
+}
+
+impl fmt::Display for FunctionalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionalError::NegativeActivation => {
+                write!(f, "activations must be non-negative to modulate optical power")
+            }
+            FunctionalError::Shape(e) => write!(f, "shape error: {e}"),
+            FunctionalError::Tiling(e) => write!(f, "tiling error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FunctionalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FunctionalError::Shape(e) => Some(e),
+            FunctionalError::Tiling(e) => Some(e),
+            FunctionalError::NegativeActivation => None,
+        }
+    }
+}
+
+impl From<ConvError> for FunctionalError {
+    fn from(e: ConvError) -> Self {
+        FunctionalError::Shape(e)
+    }
+}
+
+impl From<TilingError> for FunctionalError {
+    fn from(e: TilingError) -> Self {
+        FunctionalError::Tiling(e)
+    }
+}
+
+/// Executes convolution layers on the simulated optics.
+#[derive(Debug, Clone)]
+pub struct OpticalExecutor {
+    jtc: Jtc,
+    tile: usize,
+    mode: TilingMode,
+    /// Count of optical passes performed (for cross-checking the perf
+    /// model's pass accounting).
+    passes: std::cell::Cell<u64>,
+}
+
+impl OpticalExecutor {
+    /// Builds an executor for `config` running passes through `jtc`.
+    pub fn new(config: &AcceleratorConfig, jtc: Jtc) -> Self {
+        Self {
+            jtc,
+            tile: config.tile,
+            // Exact mode keeps the functional result bit-identical to the
+            // digital reference irrespective of column bookkeeping.
+            mode: TilingMode::Exact,
+            passes: std::cell::Cell::new(0),
+        }
+    }
+
+    /// An executor with an ideal (noise/quantization-free) JTC and the
+    /// default ReFOCUS geometry.
+    pub fn ideal() -> Self {
+        Self::new(&AcceleratorConfig::refocus_ff(), Jtc::ideal())
+    }
+
+    /// An executor with 8-bit DAC/ADC converters in the loop.
+    pub fn quantized() -> Self {
+        Self::new(&AcceleratorConfig::refocus_ff(), Jtc::quantized())
+    }
+
+    /// Optical passes performed so far.
+    pub fn passes(&self) -> u64 {
+        self.passes.get()
+    }
+
+    /// Runs one 1-D valid correlation through the optical JTC.
+    fn optical_pass(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+        self.passes.set(self.passes.get() + 1);
+        let out = self
+            .jtc
+            .correlate(signal, kernel)
+            .expect("tiling guarantees non-negative, well-sized operands");
+        out.valid().to_vec()
+    }
+
+    /// Computes `conv2d(input, weights)` (stride/padding like
+    /// [`refocus_nn::conv::conv2d`]) entirely through optical passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FunctionalError`] for negative activations, shape
+    /// mismatches, or untileable layers.
+    pub fn conv2d(
+        &self,
+        input: &Tensor3,
+        weights: &Tensor4,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Tensor3, FunctionalError> {
+        if input.data().iter().any(|&v| v < 0.0) {
+            return Err(FunctionalError::NegativeActivation);
+        }
+        if stride == 0 {
+            return Err(FunctionalError::Shape(ConvError::ZeroStride));
+        }
+        if input.channels() != weights.in_channels() {
+            return Err(FunctionalError::Shape(ConvError::ChannelMismatch {
+                input: input.channels(),
+                weights: weights.in_channels(),
+            }));
+        }
+
+        let split = PseudoNegativeSplit::of(weights);
+        let padded = input.pad_spatial(padding);
+        let (kh, kw) = (weights.kernel_h(), weights.kernel_w());
+        let full_h = padded.height().checked_sub(kh).map(|v| v + 1).ok_or(
+            FunctionalError::Shape(ConvError::KernelTooLarge {
+                input: (padded.height(), padded.width()),
+                kernel: (kh, kw),
+            }),
+        )?;
+        let full_w = padded.width().checked_sub(kw).map(|v| v + 1).ok_or(
+            FunctionalError::Shape(ConvError::KernelTooLarge {
+                input: (padded.height(), padded.width()),
+                kernel: (kh, kw),
+            }),
+        )?;
+        let out_h = (full_h - 1) / stride + 1;
+        let out_w = (full_w - 1) / stride + 1;
+
+        let mut out = Tensor3::zeros(weights.out_channels(), out_h, out_w);
+        for o in 0..weights.out_channels() {
+            // Accumulate positive and negative halves over channels.
+            let mut pos = vec![vec![0.0; full_w]; full_h];
+            let mut neg = vec![vec![0.0; full_w]; full_h];
+            for i in 0..input.channels() {
+                let rows: Vec<Vec<f64>> = padded
+                    .channel_rows(i)
+                    .iter()
+                    .map(|r| r.to_vec())
+                    .collect();
+                for (half, acc) in [
+                    (split.positive.kernel(o, i), &mut pos),
+                    (split.negative.kernel(o, i), &mut neg),
+                ] {
+                    let partial = tiled_conv2d_with(&rows, &half, self.tile, self.mode, |s, k| {
+                        self.optical_pass(s, k)
+                    })?;
+                    for (ar, pr) in acc.iter_mut().zip(&partial) {
+                        for (a, p) in ar.iter_mut().zip(pr) {
+                            *a += p;
+                        }
+                    }
+                }
+            }
+            // Digital recombination + stride subsampling.
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let v = pos[oy * stride][ox * stride] - neg[oy * stride][ox * stride];
+                    out.set(o, oy, ox, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`OpticalExecutor::conv2d`], but models the feedback buffer's
+    /// per-replay attenuation and the §4.1.1 hardware-aware compensation:
+    /// each filter `o` sees inputs attenuated by `ρ^(o mod (R+1))` and its
+    /// outputs are rescaled digitally. With exact arithmetic the result
+    /// equals the unattenuated convolution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OpticalExecutor::conv2d`].
+    pub fn conv2d_with_feedback_reuse(
+        &self,
+        input: &Tensor3,
+        weights: &Tensor4,
+        stride: usize,
+        padding: usize,
+        buffer: &FeedbackBuffer,
+    ) -> Result<Tensor3, FunctionalError> {
+        let rescale = buffer.weight_rescale_factors();
+        let period = rescale.len();
+        let mut out: Option<Tensor3> = None;
+        for o in 0..weights.out_channels() {
+            let iteration = o % period;
+            // Replayed light: attenuated input relative to iteration 0.
+            let attenuation =
+                buffer.power_at_iteration(iteration as u32) / buffer.power_at_iteration(0);
+            let mut attenuated = input.clone();
+            attenuated.map_inplace(|v| v * attenuation);
+            // Single-filter weight tensor.
+            let mut single = Tensor4::zeros(1, weights.in_channels(), weights.kernel_h(), weights.kernel_w());
+            for i in 0..weights.in_channels() {
+                for ky in 0..weights.kernel_h() {
+                    for kx in 0..weights.kernel_w() {
+                        single.set(0, i, ky, kx, weights.get(o, i, ky, kx));
+                    }
+                }
+            }
+            let mut partial = self.conv2d(&attenuated, &single, stride, padding)?;
+            // Digital rescale: ρ^-iteration relative to iteration 0.
+            let factor = rescale[iteration] / rescale[0];
+            partial.map_inplace(|v| v * factor);
+
+            let result = out.get_or_insert_with(|| {
+                Tensor3::zeros(weights.out_channels(), partial.height(), partial.width())
+            });
+            for y in 0..partial.height() {
+                for x in 0..partial.width() {
+                    result.set(o, y, x, partial.get(0, y, x));
+                }
+            }
+        }
+        Ok(out.expect("at least one output filter"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refocus_nn::conv::conv2d;
+
+    fn max_diff(a: &Tensor3, b: &Tensor3) -> f64 {
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn ideal_optics_match_digital_conv() {
+        let exec = OpticalExecutor::ideal();
+        let input = Tensor3::random(3, 10, 10, 0.0, 1.0, 1);
+        let weights = Tensor4::random(4, 3, 3, 3, -1.0, 1.0, 2);
+        let optical = exec.conv2d(&input, &weights, 1, 1).unwrap();
+        let digital = conv2d(&input, &weights, 1, 1).unwrap();
+        assert_eq!(optical.shape(), digital.shape());
+        assert!(max_diff(&optical, &digital) < 1e-7, "diff = {}", max_diff(&optical, &digital));
+        assert!(exec.passes() > 0);
+    }
+
+    #[test]
+    fn strided_optical_conv_matches() {
+        let exec = OpticalExecutor::ideal();
+        let input = Tensor3::random(2, 12, 12, 0.0, 1.0, 3);
+        let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 4);
+        let optical = exec.conv2d(&input, &weights, 2, 1).unwrap();
+        let digital = conv2d(&input, &weights, 2, 1).unwrap();
+        assert_eq!(optical.shape(), digital.shape());
+        assert!(max_diff(&optical, &digital) < 1e-7);
+    }
+
+    #[test]
+    fn quantized_optics_stay_close() {
+        let exec = OpticalExecutor::quantized();
+        let input = Tensor3::random(2, 8, 8, 0.0, 1.0, 5);
+        let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 6);
+        let optical = exec.conv2d(&input, &weights, 1, 1).unwrap();
+        let digital = conv2d(&input, &weights, 1, 1).unwrap();
+        let peak = digital.data().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        // 8-bit converters on every pass: a few percent of peak.
+        assert!(max_diff(&optical, &digital) < 0.12 * peak);
+    }
+
+    #[test]
+    fn feedback_reuse_with_rescaling_matches() {
+        let exec = OpticalExecutor::ideal();
+        let input = Tensor3::random(2, 6, 6, 0.0, 1.0, 7);
+        // 6 filters over an R=3 buffer: iterations 0..3 wrap.
+        let weights = Tensor4::random(6, 2, 3, 3, -1.0, 1.0, 8);
+        let buffer = FeedbackBuffer::with_optimal_split(
+            3,
+            4,
+            refocus_photonics::units::GigaHertz::new(10.0),
+        )
+        .unwrap();
+        let reused = exec
+            .conv2d_with_feedback_reuse(&input, &weights, 1, 1, &buffer)
+            .unwrap();
+        let digital = conv2d(&input, &weights, 1, 1).unwrap();
+        assert!(max_diff(&reused, &digital) < 1e-7, "diff = {}", max_diff(&reused, &digital));
+    }
+
+    #[test]
+    fn negative_activations_rejected() {
+        let exec = OpticalExecutor::ideal();
+        let mut input = Tensor3::zeros(1, 4, 4);
+        input.set(0, 0, 0, -0.5);
+        let weights = Tensor4::random(1, 1, 3, 3, -1.0, 1.0, 9);
+        assert_eq!(
+            exec.conv2d(&input, &weights, 1, 1),
+            Err(FunctionalError::NegativeActivation)
+        );
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let exec = OpticalExecutor::ideal();
+        let input = Tensor3::random(2, 4, 4, 0.0, 1.0, 10);
+        let weights = Tensor4::random(1, 3, 3, 3, -1.0, 1.0, 11);
+        assert!(matches!(
+            exec.conv2d(&input, &weights, 1, 0),
+            Err(FunctionalError::Shape(ConvError::ChannelMismatch { .. }))
+        ));
+        let huge = Tensor4::random(1, 2, 7, 7, -1.0, 1.0, 12);
+        assert!(matches!(
+            exec.conv2d(&input, &huge, 1, 0),
+            Err(FunctionalError::Shape(ConvError::KernelTooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn pass_count_scales_with_work() {
+        let small = OpticalExecutor::ideal();
+        let big = OpticalExecutor::ideal();
+        let input = Tensor3::random(1, 8, 8, 0.0, 1.0, 13);
+        let w1 = Tensor4::random(1, 1, 3, 3, -1.0, 1.0, 14);
+        let w4 = Tensor4::random(4, 1, 3, 3, -1.0, 1.0, 15);
+        small.conv2d(&input, &w1, 1, 0).unwrap();
+        big.conv2d(&input, &w4, 1, 0).unwrap();
+        assert_eq!(big.passes(), 4 * small.passes());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FunctionalError::NegativeActivation;
+        assert!(e.to_string().contains("non-negative"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Efficiency metrics: FPS/W, FPS/mm², PAP, EDP (§5.4, §6.3).
+//!
+//! PAP ("power-efficiency-area-efficiency product") is the paper's custom
+//! design-space metric: `FPS/W × FPS/mm²`. EDP is energy-delay product per
+//! inference; the paper reports its inverse (bigger = better).
+
+use serde::{Deserialize, Serialize};
+
+/// Efficiency summary of one (configuration, workload) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Frames per second.
+    pub fps: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Chip area in mm² (whole chip).
+    pub area_mm2: f64,
+    /// Inference latency in seconds.
+    pub latency_s: f64,
+    /// Energy per inference in joules.
+    pub energy_j: f64,
+    /// Multiply-accumulates per inference (for ops-normalized metrics).
+    pub macs: u64,
+}
+
+impl Metrics {
+    /// Throughput per watt.
+    pub fn fps_per_watt(&self) -> f64 {
+        self.fps / self.power_w
+    }
+
+    /// Throughput per mm².
+    pub fn fps_per_mm2(&self) -> f64 {
+        self.fps / self.area_mm2
+    }
+
+    /// The paper's PAP metric: `FPS/W × FPS/mm²`.
+    pub fn pap(&self) -> f64 {
+        self.fps_per_watt() * self.fps_per_mm2()
+    }
+
+    /// Energy-delay product per inference (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.latency_s
+    }
+
+    /// Inverse EDP (the §6.3 reporting convention; bigger = better).
+    pub fn inverse_edp(&self) -> f64 {
+        1.0 / self.edp()
+    }
+
+    /// Effective tera-operations per second (2 ops per MAC).
+    pub fn tops(&self) -> f64 {
+        2.0 * self.macs as f64 * self.fps / 1e12
+    }
+
+    /// Ops-normalized efficiency in TOPS/W — the unit MZI/MRR photonic and
+    /// digital accelerators usually advertise.
+    pub fn tops_per_watt(&self) -> f64 {
+        self.tops() / self.power_w
+    }
+}
+
+/// Geometric mean of a sequence of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geomean requires positive values: {values:?}"
+    );
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Geometric mean of per-workload ratios `new[i] / base[i]` — how the paper
+/// reports "relative FPS/W" across CNN suites.
+///
+/// # Panics
+///
+/// Panics on length mismatch or non-positive values.
+pub fn geomean_ratio(new: &[f64], base: &[f64]) -> f64 {
+    assert_eq!(new.len(), base.len(), "length mismatch");
+    let ratios: Vec<f64> = new.iter().zip(base).map(|(n, b)| n / b).collect();
+    geomean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metrics {
+        Metrics {
+            fps: 1000.0,
+            power_w: 10.0,
+            area_mm2: 100.0,
+            latency_s: 1e-3,
+            energy_j: 1e-2,
+            macs: 2_000_000_000,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let m = sample();
+        assert_eq!(m.fps_per_watt(), 100.0);
+        assert_eq!(m.fps_per_mm2(), 10.0);
+        assert_eq!(m.pap(), 1000.0);
+        assert!((m.edp() - 1e-5).abs() < 1e-18);
+        assert!((m.inverse_edp() - 1e5).abs() < 1e-6);
+        // 2e9 MACs x 2 ops x 1000 FPS = 4 TOPS; / 10 W = 0.4 TOPS/W.
+        assert!((m.tops() - 4.0).abs() < 1e-12);
+        assert!((m.tops_per_watt() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_ratio_matches_manual() {
+        let new = [2.0, 8.0];
+        let base = [1.0, 2.0];
+        // ratios 2 and 4 -> geomean sqrt(8).
+        assert!((geomean_ratio(&new, &base) - 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of nothing")]
+    fn empty_geomean_panics() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn non_positive_geomean_panics() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Static instruction scheduling (paper §7.1).
+//!
+//! The optical buffer has a fixed, strictly-FIFO latency, so every reuse is
+//! known at compile time: scheduling is offloaded to the compiler "akin to
+//! VLIW". This module emits the deterministic per-cycle instruction stream
+//! for one layer and checks its invariants (each generation is replayed
+//! exactly after `M` cycles, weights load every cycle, readouts follow the
+//! temporal-accumulation period).
+
+use crate::config::AcceleratorConfig;
+use crate::perf::LayerPerf;
+use refocus_nn::layer::ConvSpec;
+use refocus_nn::tiling::TilingError;
+use serde::{Deserialize, Serialize};
+
+/// The input-side action of one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputOp {
+    /// Input DACs generate new light for (chunk, channel group).
+    Generate {
+        /// Spatial chunk index.
+        chunk: u32,
+        /// Channel-group index.
+        group: u32,
+    },
+    /// Buffered light generated `delay` cycles ago replays.
+    Reuse {
+        /// Spatial chunk index of the replayed signal.
+        chunk: u32,
+        /// Channel-group index of the replayed signal.
+        group: u32,
+        /// How many cycles ago it was generated.
+        delay: u32,
+    },
+}
+
+/// One VLIW-style cycle slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slot {
+    /// Cycle index.
+    pub cycle: u64,
+    /// Input-side action.
+    pub input: InputOp,
+    /// Filter iteration whose weights the weight DACs load this cycle.
+    pub filter_iteration: u32,
+    /// `true` when the photodetector accumulation window closes and the
+    /// ADCs read out this cycle.
+    pub readout: bool,
+}
+
+/// A complete static schedule for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    slots: Vec<Slot>,
+    generation_count: u64,
+    readout_count: u64,
+}
+
+impl Schedule {
+    /// Compiles the schedule for `layer` on `config`.
+    ///
+    /// The loop nest matches [`LayerPerf`]: spatial chunks × channel groups
+    /// × filter iterations, with the channel-group loop innermost across a
+    /// delay window so that reuse lands exactly `M` cycles after
+    /// generation (Fig. 7's alternating OS-IS dataflow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError`] if the layer cannot map.
+    pub fn compile(layer: &ConvSpec, config: &AcceleratorConfig) -> Result<Self, TilingError> {
+        let perf = LayerPerf::analyze(layer, config)?;
+        let uses = perf.input_uses.max(1);
+        let window = perf.effective_ta.max(1);
+        let mut slots = Vec::with_capacity(perf.cycles.min(1_000_000) as usize);
+        let mut cycle = 0u64;
+        let mut generation_count = 0u64;
+        let mut readout_count = 0u64;
+
+        // Channel groups are processed in windows of `window` (the
+        // accumulation depth / delay length); each window is replayed for
+        // `uses` consecutive filter iterations.
+        let windows = perf.channel_iterations.div_ceil(window);
+        for chunk in 0..perf.plan.passes as u64 {
+            let mut filter_iter = 0u64;
+            while filter_iter < perf.filter_iterations {
+                let uses_now = uses.min(perf.filter_iterations - filter_iter);
+                for w in 0..windows {
+                    let groups = window.min(perf.channel_iterations - w * window);
+                    for use_idx in 0..uses_now {
+                        for g in 0..groups {
+                            let group = (w * window + g) as u32;
+                            let input = if use_idx == 0 {
+                                generation_count += 1;
+                                InputOp::Generate {
+                                    chunk: chunk as u32,
+                                    group,
+                                }
+                            } else {
+                                InputOp::Reuse {
+                                    chunk: chunk as u32,
+                                    group,
+                                    delay: (use_idx * groups) as u32,
+                                }
+                            };
+                            let readout = g == groups - 1;
+                            if readout {
+                                readout_count += 1;
+                            }
+                            slots.push(Slot {
+                                cycle,
+                                input,
+                                filter_iteration: (filter_iter + use_idx) as u32,
+                                readout,
+                            });
+                            cycle += 1;
+                        }
+                    }
+                }
+                filter_iter += uses_now;
+            }
+        }
+        Ok(Self {
+            slots,
+            generation_count,
+            readout_count,
+        })
+    }
+
+    /// The per-cycle slots.
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Cycles that generated new light.
+    pub fn generation_cycles(&self) -> u64 {
+        self.generation_count
+    }
+
+    /// ADC readout events.
+    pub fn readouts(&self) -> u64 {
+        self.readout_count
+    }
+
+    /// Checks the FIFO invariant: every [`InputOp::Reuse`] refers to a
+    /// `(chunk, group)` generated exactly `delay` cycles earlier.
+    pub fn verify_fifo(&self) -> bool {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let InputOp::Reuse { chunk, group, delay } = slot.input {
+                let Some(src) = idx.checked_sub(delay as usize) else {
+                    return false;
+                };
+                let origin = &self.slots[src];
+                let matches = match origin.input {
+                    InputOp::Generate { chunk: c, group: g } | InputOp::Reuse { chunk: c, group: g, .. } => {
+                        c == chunk && g == group
+                    }
+                };
+                if !matches {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_layer() -> ConvSpec {
+        ConvSpec::new("c", 8, 64, 3, 1, 1, (14, 14))
+    }
+
+    fn small_config() -> AcceleratorConfig {
+        AcceleratorConfig {
+            delay_cycles: 4,
+            temporal_accumulation: 4,
+            ..AcceleratorConfig::refocus_fb()
+        }
+    }
+
+    #[test]
+    fn schedule_matches_perf_model() {
+        let layer = small_layer();
+        let cfg = small_config();
+        let perf = LayerPerf::analyze(&layer, &cfg).unwrap();
+        let sched = Schedule::compile(&layer, &cfg).unwrap();
+        assert_eq!(sched.cycles(), perf.cycles);
+        assert_eq!(sched.generation_cycles(), perf.generation_cycles);
+    }
+
+    #[test]
+    fn fifo_invariant_holds() {
+        let sched = Schedule::compile(&small_layer(), &small_config()).unwrap();
+        assert!(sched.verify_fifo());
+    }
+
+    #[test]
+    fn every_cycle_has_a_filter_iteration() {
+        let sched = Schedule::compile(&small_layer(), &small_config()).unwrap();
+        // Filter iterations appear in non-decreasing chunks and within
+        // bounds.
+        let cfg = small_config();
+        let perf = LayerPerf::analyze(&small_layer(), &cfg).unwrap();
+        for slot in sched.slots() {
+            assert!((slot.filter_iteration as u64) < perf.filter_iterations);
+        }
+    }
+
+    #[test]
+    fn readouts_follow_accumulation_windows() {
+        let cfg = small_config();
+        let sched = Schedule::compile(&small_layer(), &cfg).unwrap();
+        let perf = LayerPerf::analyze(&small_layer(), &cfg).unwrap();
+        // One readout per (window, use) per chunk x filter phase:
+        // readouts = cycles / effective window size.
+        assert_eq!(sched.readouts(), perf.cycles / perf.effective_ta);
+    }
+
+    #[test]
+    fn no_buffer_means_no_reuse_slots() {
+        let layer = small_layer();
+        let cfg = AcceleratorConfig::photofourier_baseline();
+        let sched = Schedule::compile(&layer, &cfg).unwrap();
+        assert!(sched
+            .slots()
+            .iter()
+            .all(|s| matches!(s.input, InputOp::Generate { .. })));
+        assert_eq!(sched.generation_cycles(), sched.cycles());
+    }
+
+    #[test]
+    fn reuse_delay_equals_window_length() {
+        // With the FB buffer, the replay of a group arrives exactly
+        // `groups-in-window` cycles after its generation — the delay-line
+        // length the dataflow was designed around (§4.1.4).
+        let cfg = small_config();
+        let sched = Schedule::compile(&small_layer(), &cfg).unwrap();
+        let mut saw_reuse = false;
+        for slot in sched.slots() {
+            if let InputOp::Reuse { delay, .. } = slot.input {
+                saw_reuse = true;
+                assert_eq!(delay as u64 % 4, 0, "delay {delay} not a window multiple");
+            }
+        }
+        assert!(saw_reuse);
+    }
+}

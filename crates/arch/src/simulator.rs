@@ -1,0 +1,228 @@
+//! Top-level simulator: configuration + workload → report.
+//!
+//! [`simulate`] runs one network through the performance, energy, and area
+//! models and returns a [`Report`]; [`simulate_suite`] covers a workload
+//! suite and exposes per-network and geomean metrics — the shape of every
+//! evaluation in the paper's §6.
+
+use crate::area::{area_breakdown, AreaBreakdown};
+use crate::config::AcceleratorConfig;
+use crate::energy::{EnergyBreakdown, EnergyModel, EnergyOptions};
+use crate::metrics::{geomean, Metrics};
+use crate::perf::NetworkPerf;
+use refocus_nn::layer::Network;
+use refocus_nn::tiling::TilingError;
+use serde::{Deserialize, Serialize};
+
+/// The full result of simulating one network on one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Configuration name.
+    pub config_name: String,
+    /// Workload name.
+    pub network_name: String,
+    /// Per-layer and total cycle counts.
+    pub perf: NetworkPerf,
+    /// Per-component energy of one inference.
+    pub energy: EnergyBreakdown,
+    /// Chip area breakdown.
+    pub area: AreaBreakdown,
+    /// Derived efficiency metrics.
+    pub metrics: Metrics,
+}
+
+/// Simulates `network` on `config` with default energy options.
+///
+/// # Errors
+///
+/// Returns [`TilingError`] if any layer cannot map onto the configured JTC.
+pub fn simulate(network: &Network, config: &AcceleratorConfig) -> Result<Report, TilingError> {
+    simulate_with_options(network, config, EnergyOptions::default())
+}
+
+/// Simulates with explicit [`EnergyOptions`].
+///
+/// # Errors
+///
+/// Returns [`TilingError`] if any layer cannot map onto the configured JTC.
+pub fn simulate_with_options(
+    network: &Network,
+    config: &AcceleratorConfig,
+    options: EnergyOptions,
+) -> Result<Report, TilingError> {
+    let perf = NetworkPerf::analyze(network, config)?;
+    let model = EnergyModel::with_options(config, options);
+    let energy = model.network_energy(network, &perf);
+    let area = area_breakdown(config);
+    let latency = perf.latency(config);
+    let metrics = Metrics {
+        fps: perf.fps(config),
+        power_w: energy.average_power(latency).value(),
+        area_mm2: area.total().value(),
+        latency_s: latency.value(),
+        // Energy accounts one pass = `batch` images; report per inference.
+        energy_j: energy.total().value() / config.batch.max(1) as f64,
+        macs: network.total_macs(),
+    };
+    Ok(Report {
+        config_name: config.name.clone(),
+        network_name: network.name().to_string(),
+        perf,
+        energy,
+        area,
+        metrics,
+    })
+}
+
+/// Suite-level results: per-network reports plus geomean metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Configuration name.
+    pub config_name: String,
+    /// One report per network.
+    pub reports: Vec<Report>,
+}
+
+impl SuiteReport {
+    /// Geomean FPS across the suite.
+    pub fn geomean_fps(&self) -> f64 {
+        geomean(&self.reports.iter().map(|r| r.metrics.fps).collect::<Vec<_>>())
+    }
+
+    /// Geomean FPS/W across the suite.
+    pub fn geomean_fps_per_watt(&self) -> f64 {
+        geomean(
+            &self
+                .reports
+                .iter()
+                .map(|r| r.metrics.fps_per_watt())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Geomean FPS/mm² across the suite.
+    pub fn geomean_fps_per_mm2(&self) -> f64 {
+        geomean(
+            &self
+                .reports
+                .iter()
+                .map(|r| r.metrics.fps_per_mm2())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Geomean PAP across the suite.
+    pub fn geomean_pap(&self) -> f64 {
+        geomean(&self.reports.iter().map(|r| r.metrics.pap()).collect::<Vec<_>>())
+    }
+
+    /// Geomean inverse EDP across the suite.
+    pub fn geomean_inverse_edp(&self) -> f64 {
+        geomean(
+            &self
+                .reports
+                .iter()
+                .map(|r| r.metrics.inverse_edp())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Arithmetic-mean power across the suite (how §6.1 reports "average
+    /// system power").
+    pub fn mean_power_w(&self) -> f64 {
+        self.reports.iter().map(|r| r.metrics.power_w).sum::<f64>() / self.reports.len() as f64
+    }
+
+    /// The report for a named network, if present.
+    pub fn for_network(&self, name: &str) -> Option<&Report> {
+        self.reports.iter().find(|r| r.network_name == name)
+    }
+}
+
+/// Simulates every network in `suite` on `config`.
+///
+/// # Errors
+///
+/// Returns the first mapping error encountered.
+pub fn simulate_suite(
+    suite: &[Network],
+    config: &AcceleratorConfig,
+) -> Result<SuiteReport, TilingError> {
+    let reports = suite
+        .iter()
+        .map(|net| simulate(net, config))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SuiteReport {
+        config_name: config.name.clone(),
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refocus_nn::models;
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let net = models::resnet18();
+        let cfg = AcceleratorConfig::refocus_fb();
+        let r = simulate(&net, &cfg).unwrap();
+        assert_eq!(r.network_name, "ResNet-18");
+        // FPS, latency, energy, power all agree.
+        assert!((r.metrics.fps * r.metrics.latency_s - 1.0).abs() < 1e-9);
+        assert!(
+            (r.metrics.power_w * r.metrics.latency_s - r.metrics.energy_j).abs()
+                < 1e-9 * r.metrics.energy_j
+        );
+        assert!((r.metrics.area_mm2 - r.area.total().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suite_report_exposes_networks() {
+        let suite = models::evaluation_suite();
+        let cfg = AcceleratorConfig::refocus_ff();
+        let s = simulate_suite(&suite, &cfg).unwrap();
+        assert_eq!(s.reports.len(), 5);
+        assert!(s.for_network("VGG-16").is_some());
+        assert!(s.for_network("nonexistent").is_none());
+        assert!(s.geomean_fps() > 0.0);
+        assert!(s.geomean_pap() > 0.0);
+    }
+
+    #[test]
+    fn refocus_beats_baseline_on_fps_and_efficiency() {
+        // The headline: ~2x FPS (WDM), ~2x energy efficiency for FB.
+        let suite = models::evaluation_suite();
+        let base = simulate_suite(&suite, &AcceleratorConfig::photofourier_baseline()).unwrap();
+        let fb = simulate_suite(&suite, &AcceleratorConfig::refocus_fb()).unwrap();
+        let fps_ratio = fb.geomean_fps() / base.geomean_fps();
+        assert!((1.8..2.2).contains(&fps_ratio), "FPS ratio = {fps_ratio} (paper ~2)");
+        let eff_ratio = fb.geomean_fps_per_watt() / base.geomean_fps_per_watt();
+        assert!(
+            (1.6..3.4).contains(&eff_ratio),
+            "FPS/W ratio = {eff_ratio} (paper 2.2)"
+        );
+    }
+
+    #[test]
+    fn area_efficiency_improvement() {
+        // Paper: 1.36x FPS/mm² vs PhotoFourier.
+        let suite = models::evaluation_suite();
+        let base = simulate_suite(&suite, &AcceleratorConfig::photofourier_baseline()).unwrap();
+        let fb = simulate_suite(&suite, &AcceleratorConfig::refocus_fb()).unwrap();
+        let ratio = fb.geomean_fps_per_mm2() / base.geomean_fps_per_mm2();
+        assert!((1.1..1.7).contains(&ratio), "FPS/mm2 ratio = {ratio} (paper 1.36)");
+    }
+
+    #[test]
+    fn fb_more_power_efficient_than_ff() {
+        let suite = models::evaluation_suite();
+        let ff = simulate_suite(&suite, &AcceleratorConfig::refocus_ff()).unwrap();
+        let fb = simulate_suite(&suite, &AcceleratorConfig::refocus_fb()).unwrap();
+        assert!(fb.geomean_fps_per_watt() > ff.geomean_fps_per_watt());
+        // Same throughput (cycles identical).
+        let fps_ratio = fb.geomean_fps() / ff.geomean_fps();
+        assert!((fps_ratio - 1.0).abs() < 1e-9);
+    }
+}

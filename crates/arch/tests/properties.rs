@@ -1,0 +1,144 @@
+//! Property-based invariants of the architecture simulator.
+
+use proptest::prelude::*;
+use refocus_arch::area::area_breakdown;
+use refocus_arch::config::{AcceleratorConfig, OpticalBufferKind};
+use refocus_arch::perf::LayerPerf;
+use refocus_arch::simulator::simulate;
+use refocus_nn::layer::{ConvSpec, Network};
+
+fn arbitrary_layer() -> impl Strategy<Value = ConvSpec> {
+    (
+        1usize..256,           // in channels
+        1usize..512,           // out channels
+        prop::sample::select(vec![1usize, 3, 5]),
+        1usize..3,             // stride
+        0usize..2,             // padding
+        prop::sample::select(vec![7usize, 14, 28, 56]),
+    )
+        .prop_map(|(ic, oc, k, s, p, hw)| {
+            ConvSpec::new("prop", ic, oc, k, s, p, (hw, hw))
+        })
+}
+
+fn variant_config(
+    rfcus: usize,
+    wavelengths: usize,
+    buffer: OpticalBufferKind,
+    batch: usize,
+) -> AcceleratorConfig {
+    AcceleratorConfig {
+        rfcus,
+        wavelengths,
+        optical_buffer: buffer,
+        batch,
+        ..AcceleratorConfig::refocus_ff()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cycles_scale_down_with_parallelism(layer in arbitrary_layer()) {
+        let small = variant_config(4, 1, OpticalBufferKind::FeedForward, 1);
+        let big = variant_config(16, 2, OpticalBufferKind::FeedForward, 1);
+        let ps = LayerPerf::analyze(&layer, &small).unwrap();
+        let pb = LayerPerf::analyze(&layer, &big).unwrap();
+        prop_assert!(pb.cycles <= ps.cycles);
+    }
+
+    #[test]
+    fn generation_never_exceeds_cycles(layer in arbitrary_layer(), reuses in 1u32..32) {
+        let cfg = variant_config(16, 2, OpticalBufferKind::FeedBack { reuses }, 1);
+        let p = LayerPerf::analyze(&layer, &cfg).unwrap();
+        prop_assert!(p.generation_cycles <= p.cycles);
+        prop_assert!(p.generation_cycles >= p.cycles / (reuses as u64 + 1));
+        prop_assert!(p.input_uses <= reuses as u64 + 1);
+    }
+
+    #[test]
+    fn more_reuse_never_costs_more_energy(layer in arbitrary_layer()) {
+        let net = Network::new("one", vec![layer]);
+        let few = variant_config(16, 2, OpticalBufferKind::FeedBack { reuses: 1 }, 1);
+        let many = variant_config(16, 2, OpticalBufferKind::FeedBack { reuses: 15 }, 1);
+        let rf = simulate(&net, &few).unwrap();
+        let rm = simulate(&net, &many).unwrap();
+        // Input DAC energy cannot grow with more reuse.
+        prop_assert!(rm.energy.input_dac.value() <= rf.energy.input_dac.value() + 1e-15);
+        // Throughput identical.
+        prop_assert!((rm.metrics.fps - rf.metrics.fps).abs() < 1e-9 * rf.metrics.fps);
+    }
+
+    #[test]
+    fn energy_rows_sum_to_total(layer in arbitrary_layer(), wavelengths in 1usize..3) {
+        let net = Network::new("one", vec![layer]);
+        let cfg = variant_config(8, wavelengths, OpticalBufferKind::FeedForward, 1);
+        let r = simulate(&net, &cfg).unwrap();
+        let sum: f64 = r.energy.rows().iter().map(|(_, e)| e.value()).sum();
+        prop_assert!((sum - r.energy.total().value()).abs() < 1e-12 * sum.max(1e-30));
+    }
+
+    #[test]
+    fn area_monotone_in_rfcus_and_delay(
+        n1 in 1usize..24,
+        extra in 1usize..8,
+        m1 in 1u32..32,
+        dm in 1u32..16,
+    ) {
+        let a = area_breakdown(&AcceleratorConfig {
+            rfcus: n1,
+            delay_cycles: m1,
+            temporal_accumulation: 1,
+            ..AcceleratorConfig::refocus_ff()
+        });
+        let b = area_breakdown(&AcceleratorConfig {
+            rfcus: n1 + extra,
+            delay_cycles: m1 + dm,
+            temporal_accumulation: 1,
+            ..AcceleratorConfig::refocus_ff()
+        });
+        prop_assert!(b.photonic().value() > a.photonic().value());
+        prop_assert!(b.total().value() > a.total().value());
+    }
+
+    #[test]
+    fn batch_preserves_per_image_throughput(layer in arbitrary_layer(), batch in 2usize..16) {
+        let net = Network::new("one", vec![layer]);
+        let single = variant_config(16, 2, OpticalBufferKind::None, 1);
+        let single = AcceleratorConfig { delay_cycles: 16, ..single };
+        let batched = AcceleratorConfig { batch, ..single.clone() };
+        let rs = simulate(&net, &single).unwrap();
+        let rb = simulate(&net, &batched).unwrap();
+        prop_assert!((rb.metrics.fps - rs.metrics.fps).abs() < 1e-6 * rs.metrics.fps);
+        // Weight-DAC energy per image shrinks by ~batch.
+        let per_image_single = rs.energy.weight_dac.value();
+        let per_image_batched = rb.energy.weight_dac.value() / batch as f64;
+        prop_assert!(per_image_batched <= per_image_single / batch as f64 * 1.001);
+    }
+
+    #[test]
+    fn laser_overhead_monotone_in_reuse(r in 1u32..40) {
+        let a = variant_config(16, 2, OpticalBufferKind::FeedBack { reuses: r }, 1);
+        let b = variant_config(16, 2, OpticalBufferKind::FeedBack { reuses: r + 1 }, 1);
+        prop_assert!(a.laser_overhead() >= 1.0);
+        prop_assert!(b.laser_overhead() > a.laser_overhead());
+    }
+
+    #[test]
+    fn valid_configs_always_simulate(
+        layer in arbitrary_layer(),
+        rfcus in 1usize..33,
+        wavelengths in 1usize..3,
+        batch in 1usize..5,
+    ) {
+        let net = Network::new("one", vec![layer]);
+        let cfg = variant_config(rfcus, wavelengths, OpticalBufferKind::FeedForward, batch);
+        cfg.validate().unwrap();
+        let r = simulate(&net, &cfg).unwrap();
+        prop_assert!(r.metrics.fps > 0.0);
+        prop_assert!(r.metrics.power_w > 0.0);
+        prop_assert!(r.metrics.energy_j > 0.0);
+        prop_assert!(r.metrics.fps_per_watt() > 0.0);
+    }
+}

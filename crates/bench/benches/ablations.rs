@@ -1,0 +1,15 @@
+//! Benchmarks regenerating the extension/ablation studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", refocus_experiments::ablations::run());
+    c.bench_function("ablations", |b| b.iter(refocus_experiments::ablations::run));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

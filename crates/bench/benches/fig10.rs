@@ -1,0 +1,16 @@
+//! Benchmarks regenerating the paper's `fig10` artifact end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artifact once so bench logs double as results.
+    println!("{}", refocus_experiments::fig10::run());
+    c.bench_function("fig10", |b| b.iter(refocus_experiments::fig10::run));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

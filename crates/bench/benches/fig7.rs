@@ -1,0 +1,15 @@
+//! Benchmarks regenerating the paper's `fig7` artifact end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", refocus_experiments::fig7::run());
+    c.bench_function("fig7", |b| b.iter(refocus_experiments::fig7::run));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

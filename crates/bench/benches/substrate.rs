@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the substrates underneath the experiments: FFTs,
+//! the JTC field simulation, row-tiled convolution, and one full
+//! network simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::functional::OpticalExecutor;
+use refocus_arch::simulator::simulate;
+use refocus_nn::models;
+use refocus_nn::tensor::{Tensor3, Tensor4};
+use refocus_nn::tiling::{tiled_conv2d_valid, TilingMode};
+use refocus_photonics::complex::Complex64;
+use refocus_photonics::fft::fft;
+use refocus_photonics::jtc::Jtc;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [256usize, 1024, 4096] {
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        group.bench_function(format!("radix2_{n}"), |b| {
+            b.iter_batched(
+                || signal.clone(),
+                |mut s| fft(&mut s),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // Non-power-of-two exercises Bluestein.
+    let n = 1000;
+    let signal: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.13).sin(), 0.0))
+        .collect();
+    group.bench_function("bluestein_1000", |b| {
+        b.iter_batched(
+            || signal.clone(),
+            |mut s| fft(&mut s),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_jtc(c: &mut Criterion) {
+    let jtc = Jtc::ideal();
+    let quantized = Jtc::quantized();
+    let signal: Vec<f64> = (0..224).map(|i| (i as f64 * 0.1).sin().abs()).collect();
+    let kernel: Vec<f64> = (0..9).map(|i| 0.1 * (i + 1) as f64).collect();
+    c.bench_function("jtc_pass_ideal_224x9", |b| {
+        b.iter(|| jtc.correlate(&signal, &kernel).unwrap())
+    });
+    c.bench_function("jtc_pass_quantized_224x9", |b| {
+        b.iter(|| quantized.correlate(&signal, &kernel).unwrap())
+    });
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let input: Vec<Vec<f64>> = (0..32)
+        .map(|y| (0..32).map(|x| ((x * 7 + y) % 13) as f64 / 13.0).collect())
+        .collect();
+    let kernel = vec![vec![0.1, 0.2, 0.1], vec![0.2, 0.4, 0.2], vec![0.1, 0.2, 0.1]];
+    c.bench_function("tiled_conv2d_32x32_k3_t256", |b| {
+        b.iter(|| tiled_conv2d_valid(&input, &kernel, 256, TilingMode::Exact).unwrap())
+    });
+}
+
+fn bench_optical_layer(c: &mut Criterion) {
+    let exec = OpticalExecutor::ideal();
+    let input = Tensor3::random(2, 12, 12, 0.0, 1.0, 1);
+    let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 2);
+    c.bench_function("optical_conv2d_2x12x12_k3", |b| {
+        b.iter(|| exec.conv2d(&input, &weights, 1, 1).unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::refocus_fb();
+    let net = models::resnet34();
+    c.bench_function("simulate_resnet34_refocus_fb", |b| {
+        b.iter(|| simulate(&net, &cfg).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_jtc, bench_tiling, bench_optical_layer, bench_simulator
+}
+criterion_main!(benches);

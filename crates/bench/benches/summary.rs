@@ -1,0 +1,15 @@
+//! Benchmarks regenerating the reproduction scorecard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", refocus_experiments::summary::run());
+    c.bench_function("summary", |b| b.iter(refocus_experiments::summary::run));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Benchmarks regenerating the paper's `table1` artifact end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artifact once so bench logs double as results.
+    println!("{}", refocus_experiments::table1::run());
+    c.bench_function("table1", |b| b.iter(refocus_experiments::table1::run));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # refocus-bench
+//!
+//! Criterion benchmark harness for the ReFOCUS reproduction. The library
+//! itself is empty; every benchmark lives under `benches/`, one target per
+//! paper table/figure plus substrate micro-benchmarks:
+//!
+//! ```text
+//! cargo bench -p refocus-bench                # everything
+//! cargo bench -p refocus-bench --bench fig11  # one artifact
+//! ```
+//!
+//! Each experiment bench measures regenerating that artifact end-to-end
+//! from the simulator and, as a side effect of its setup, prints the
+//! regenerated rows once, so `cargo bench` output doubles as a results log.
+
+#![warn(missing_docs)]

@@ -1,0 +1,134 @@
+//! Extension / ablation studies (beyond the paper's shipped design):
+//!
+//! 1. **Slow light (§7.5)** — the paper mentions slow-light delay lines as
+//!    promising but too lossy "currently". The study quantifies both sides
+//!    of that trade at each delay length.
+//! 2. **Batch interleaving (§4.1.3 extended)** — the paper argues weight
+//!    reuse is a poor target at batch 1; the study shows when batching
+//!    flips that conclusion (the FB design is weight-DAC-bound).
+//! 3. **WDM walk-off (§4.2.3)** — the quantitative rule behind "less than
+//!    4 wavelengths".
+//! 4. **HBM3 (§7.3)** — the DRAM-technology relief path.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::ablation::{batch_study, slow_light_study};
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::simulator::simulate;
+use refocus_memsim::dram::Dram;
+use refocus_nn::models;
+use refocus_photonics::dispersion::{walkoff_table, DEFAULT_CHANNEL_DELTA};
+
+/// Regenerates the ablation studies.
+pub fn run() -> Experiment {
+    // 1. Slow light.
+    let mut slow = Table::new(
+        "slow-light delay lines ([9]-class: 10x shorter, 0.05 dB/mm)",
+        &[
+            "M",
+            "RFCUs (spiral)",
+            "RFCUs (slow)",
+            "bank mm^2 (spiral)",
+            "bank mm^2 (slow)",
+            "laser ovh (spiral)",
+            "laser ovh (slow)",
+        ],
+    );
+    for m in [4u32, 8, 16, 32] {
+        let s = slow_light_study(m);
+        slow.push_row(vec![
+            m.to_string(),
+            s.spiral_rfcus.to_string(),
+            s.slow_light_rfcus.to_string(),
+            fmt_f(s.spiral_bank_area_mm2),
+            fmt_f(s.slow_light_bank_area_mm2),
+            fmt_f(s.spiral_laser_overhead),
+            fmt_f(s.slow_light_laser_overhead),
+        ]);
+    }
+
+    // 2. Batch interleaving.
+    let rows = batch_study(&models::resnet34(), &[1, 2, 4, 8, 16]).expect("maps");
+    let mut batch = Table::new(
+        "weight-stationary batching vs optical reuse (ResNet-34)",
+        &["batch", "reuse", "FPS", "W", "FPS/W", "weight-DAC W", "input-DAC W"],
+    );
+    for r in &rows {
+        batch.push_row(vec![
+            r.batch.to_string(),
+            if r.optical_reuse { "light" } else { "weights" }.into(),
+            fmt_f(r.fps),
+            fmt_f(r.power_w),
+            fmt_f(r.fps_per_watt),
+            fmt_f(r.weight_dac_w),
+            fmt_f(r.input_dac_w),
+        ]);
+    }
+
+    // 3. WDM walk-off.
+    let mut wdm = Table::new(
+        "WDM channel walk-off on a 256-detector plane",
+        &["wavelengths", "walk-off (pitches)", "feasible"],
+    );
+    for row in walkoff_table(5, 256, DEFAULT_CHANNEL_DELTA) {
+        wdm.push_row(vec![
+            row.wavelengths.to_string(),
+            fmt_f(row.walkoff_samples),
+            if row.feasible { "yes" } else { "no" }.into(),
+        ]);
+    }
+
+    // 4. HBM3.
+    let mut hbm2_cfg = AcceleratorConfig::refocus_fb();
+    hbm2_cfg.include_dram = true;
+    let hbm2 = simulate(&models::resnet50(), &hbm2_cfg).expect("maps");
+    let hbm2_share = hbm2.energy.dram / hbm2.energy.total();
+    let hbm3_scale = Dram::HBM3_ENERGY_PER_BYTE.value() / Dram::HBM2_ENERGY_PER_BYTE.value();
+    let hbm3_dram = hbm2.energy.dram.value() * hbm3_scale;
+    let hbm3_total = hbm2.energy.total().value() - hbm2.energy.dram.value() + hbm3_dram;
+    let mut dram = Table::new(
+        "DRAM technology (ReFOCUS-FB, ResNet-50)",
+        &["technology", "DRAM share", "per-inference energy (mJ)"],
+    );
+    dram.push_row(vec![
+        "HBM2".into(),
+        format!("{:.1}%", hbm2_share * 100.0),
+        fmt_f(hbm2.energy.total().value() * 1e3),
+    ]);
+    dram.push_row(vec![
+        "HBM3-class".into(),
+        format!("{:.1}%", 100.0 * hbm3_dram / hbm3_total),
+        fmt_f(hbm3_total * 1e3),
+    ]);
+
+    Experiment::new("ablations", "Extensions: slow light, batching, WDM walk-off, HBM3")
+        .with_table(slow)
+        .with_table(batch)
+        .with_table(wdm)
+        .with_table(dram)
+        .with_note("slow light frees RFCUs but its loss inflates the FB laser budget — the §7.5 caveat, quantified")
+        .with_note("batching trades input-light reuse for weight stationarity; it wins once weight DACs dominate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_four_tables() {
+        let e = run();
+        assert_eq!(e.tables.len(), 4);
+        let s = e.render();
+        assert!(s.contains("slow-light"));
+        assert!(s.contains("walk-off"));
+        assert!(s.contains("HBM3"));
+    }
+
+    #[test]
+    fn hbm3_halves_dram_share_direction() {
+        let e = run();
+        // The DRAM table's two share cells: HBM3 < HBM2.
+        let t = &e.tables[3];
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        assert!(parse(&t.rows[1][1]) < parse(&t.rows[0][1]));
+    }
+}

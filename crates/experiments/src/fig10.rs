@@ -1,0 +1,156 @@
+//! Fig. 10: relative FPS/W on ResNet-34 as optimizations accumulate
+//! (baseline → +optical buffer → +WDM → +SRAM buffers), for both buffer
+//! variants, plus the §6.2 converter-power claim.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::config::{AcceleratorConfig, OpticalBufferKind};
+use refocus_arch::simulator::simulate;
+use refocus_nn::models;
+
+/// One cumulative-optimization step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Step label.
+    pub label: String,
+    /// Absolute FPS/W on ResNet-34.
+    pub fps_per_watt: f64,
+    /// Converter (ADC+DAC) power in watts.
+    pub converter_power_w: f64,
+    /// Throughput in FPS.
+    pub fps: f64,
+}
+
+fn run_cfg(label: &str, cfg: &AcceleratorConfig) -> Step {
+    let net = models::resnet34();
+    let r = simulate(&net, cfg).expect("ResNet-34 maps");
+    Step {
+        label: label.into(),
+        fps_per_watt: r.metrics.fps_per_watt(),
+        converter_power_w: r.energy.converters().value() / r.metrics.latency_s,
+        fps: r.metrics.fps,
+    }
+}
+
+/// Computes the cumulative chain for one buffer kind.
+pub fn chain(buffer: OpticalBufferKind) -> Vec<Step> {
+    let baseline = AcceleratorConfig {
+        name: "baseline".into(),
+        ..AcceleratorConfig::photofourier_baseline()
+    };
+    let ob = AcceleratorConfig {
+        name: "+OB".into(),
+        delay_cycles: 16,
+        optical_buffer: buffer,
+        ..baseline.clone()
+    };
+    let wdm = AcceleratorConfig {
+        name: "+OB+WDM".into(),
+        wavelengths: 2,
+        ..ob.clone()
+    };
+    let sb = AcceleratorConfig {
+        name: "+OB+WDM+SB".into(),
+        sram_buffers: true,
+        ..wdm.clone()
+    };
+    vec![
+        run_cfg("baseline", &baseline),
+        run_cfg("+OB", &ob),
+        run_cfg("+OB+WDM", &wdm),
+        run_cfg("+OB+WDM+SB", &sb),
+    ]
+}
+
+/// The §6.2 converter-power comparison: FB's absolute converter power vs
+/// the baseline scaled to the same throughput. Paper: 1.72× smaller.
+pub fn converter_reduction() -> f64 {
+    let steps = chain(OpticalBufferKind::FeedBack { reuses: 15 });
+    let base = &steps[0];
+    let full = &steps[3];
+    // Scale the baseline's converter power to ReFOCUS's throughput.
+    let scaled = base.converter_power_w * (full.fps / base.fps);
+    scaled / full.converter_power_w
+}
+
+/// Regenerates Fig. 10.
+pub fn run() -> Experiment {
+    let mut e = Experiment::new("fig10", "Fig. 10: FPS/W vs cumulative optimizations (ResNet-34)");
+    for (name, buffer) in [
+        ("ReFOCUS-FF", OpticalBufferKind::FeedForward),
+        ("ReFOCUS-FB", OpticalBufferKind::FeedBack { reuses: 15 }),
+    ] {
+        let steps = chain(buffer);
+        let base = steps[0].fps_per_watt;
+        let mut t = Table::new(
+            format!("{name}: cumulative optimizations"),
+            &["configuration", "FPS/W", "relative"],
+        );
+        for s in &steps {
+            t.push_row(vec![
+                s.label.clone(),
+                fmt_f(s.fps_per_watt),
+                fmt_f(s.fps_per_watt / base),
+            ]);
+        }
+        e = e.with_table(t);
+    }
+    e.with_note(format!(
+        "converter power vs throughput-scaled baseline: {}x smaller (paper: 1.72x)",
+        fmt_f(converter_reduction())
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_optimization_helps() {
+        for buffer in [
+            OpticalBufferKind::FeedForward,
+            OpticalBufferKind::FeedBack { reuses: 15 },
+        ] {
+            let steps = chain(buffer);
+            for pair in steps.windows(2) {
+                assert!(
+                    pair[1].fps_per_watt > pair[0].fps_per_watt,
+                    "{} -> {} for {buffer:?}",
+                    pair[0].label,
+                    pair[1].label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fb_chain_roughly_doubles_efficiency() {
+        // Fig. 10 end-to-end: ReFOCUS-FB is ~2x the same-architecture
+        // baseline.
+        let steps = chain(OpticalBufferKind::FeedBack { reuses: 15 });
+        let gain = steps[3].fps_per_watt / steps[0].fps_per_watt;
+        assert!((1.6..3.6).contains(&gain), "gain = {gain} (paper ~2)");
+    }
+
+    #[test]
+    fn fb_beats_ff_at_the_end() {
+        let ff = chain(OpticalBufferKind::FeedForward);
+        let fb = chain(OpticalBufferKind::FeedBack { reuses: 15 });
+        assert!(fb[3].fps_per_watt > ff[3].fps_per_watt);
+    }
+
+    #[test]
+    fn converter_power_reduction_near_paper() {
+        // Paper: 1.72x. Our baseline's input DACs are costlier relative to
+        // ReFOCUS's (no WDM DAC sharing), so the measured reduction lands
+        // higher; same direction, same order.
+        let r = converter_reduction();
+        assert!((1.3..3.6).contains(&r), "reduction = {r} (paper 1.72)");
+    }
+
+    #[test]
+    fn wdm_step_doubles_throughput() {
+        let steps = chain(OpticalBufferKind::FeedForward);
+        let ratio = steps[2].fps / steps[1].fps;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 11: ReFOCUS-FF/FB vs PhotoFourier — relative FPS, FPS/W, FPS/mm²,
+//! PAP, and 1/EDP, geomean over the 5-CNN suite.
+//!
+//! Headline claims reproduced: ~2× FPS, ~2.2× FPS/W (FB), ~1.36× FPS/mm².
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::simulator::{simulate_suite, SuiteReport};
+use refocus_nn::models;
+
+/// Relative metrics of one ReFOCUS variant vs the PhotoFourier baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Relative {
+    /// Relative throughput.
+    pub fps: f64,
+    /// Relative power efficiency.
+    pub fps_per_watt: f64,
+    /// Relative area efficiency.
+    pub fps_per_mm2: f64,
+    /// Relative PAP.
+    pub pap: f64,
+    /// Relative inverse EDP.
+    pub inverse_edp: f64,
+}
+
+fn relative(new: &SuiteReport, base: &SuiteReport) -> Relative {
+    Relative {
+        fps: new.geomean_fps() / base.geomean_fps(),
+        fps_per_watt: new.geomean_fps_per_watt() / base.geomean_fps_per_watt(),
+        fps_per_mm2: new.geomean_fps_per_mm2() / base.geomean_fps_per_mm2(),
+        pap: new.geomean_pap() / base.geomean_pap(),
+        inverse_edp: new.geomean_inverse_edp() / base.geomean_inverse_edp(),
+    }
+}
+
+/// Computes (FF-relative, FB-relative) vs the baseline.
+pub fn compute() -> (Relative, Relative) {
+    let suite = models::evaluation_suite();
+    let base = simulate_suite(&suite, &AcceleratorConfig::photofourier_baseline()).unwrap();
+    let ff = simulate_suite(&suite, &AcceleratorConfig::refocus_ff()).unwrap();
+    let fb = simulate_suite(&suite, &AcceleratorConfig::refocus_fb()).unwrap();
+    (relative(&ff, &base), relative(&fb, &base))
+}
+
+/// Regenerates Fig. 11.
+pub fn run() -> Experiment {
+    let (ff, fb) = compute();
+    let mut t = Table::new(
+        "relative to PhotoFourier (geomean, 5 CNNs)",
+        &["metric", "ReFOCUS-FF", "ReFOCUS-FB", "paper (headline)"],
+    );
+    let rows: [(&str, f64, f64, &str); 5] = [
+        ("FPS", ff.fps, fb.fps, "~2x"),
+        ("FPS/W", ff.fps_per_watt, fb.fps_per_watt, "~2x / 2.2x"),
+        ("FPS/mm^2", ff.fps_per_mm2, fb.fps_per_mm2, "1.36x"),
+        ("PAP", ff.pap, fb.pap, "(larger)"),
+        ("1/EDP", ff.inverse_edp, fb.inverse_edp, "(larger)"),
+    ];
+    for (label, f, b, p) in rows {
+        t.push_row(vec![label.into(), fmt_f(f), fmt_f(b), p.into()]);
+    }
+    Experiment::new("fig11", "Fig. 11: ReFOCUS vs PhotoFourier").with_table(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_doubles() {
+        let (ff, fb) = compute();
+        assert!((1.9..2.1).contains(&ff.fps), "FF FPS = {}", ff.fps);
+        assert!((1.9..2.1).contains(&fb.fps), "FB FPS = {}", fb.fps);
+    }
+
+    #[test]
+    fn fb_energy_efficiency_near_2_2x() {
+        let (_, fb) = compute();
+        assert!(
+            (1.7..3.4).contains(&fb.fps_per_watt),
+            "FB FPS/W = {} (paper 2.2)",
+            fb.fps_per_watt
+        );
+    }
+
+    #[test]
+    fn ff_energy_efficiency_close_to_2x() {
+        let (ff, _) = compute();
+        assert!(
+            (1.5..2.8).contains(&ff.fps_per_watt),
+            "FF FPS/W = {} (paper ~2)",
+            ff.fps_per_watt
+        );
+    }
+
+    #[test]
+    fn area_efficiency_near_1_36x() {
+        let (ff, fb) = compute();
+        for (name, v) in [("FF", ff.fps_per_mm2), ("FB", fb.fps_per_mm2)] {
+            assert!((1.1..1.7).contains(&v), "{name} FPS/mm2 = {v} (paper 1.36)");
+        }
+    }
+
+    #[test]
+    fn all_metrics_improve() {
+        let (ff, fb) = compute();
+        for r in [ff, fb] {
+            assert!(r.fps > 1.0);
+            assert!(r.fps_per_watt > 1.0);
+            assert!(r.fps_per_mm2 > 1.0);
+            assert!(r.pap > 1.0);
+            assert!(r.inverse_edp > 1.0);
+        }
+    }
+
+    #[test]
+    fn fb_beats_ff_on_power_metrics_only() {
+        let (ff, fb) = compute();
+        assert!(fb.fps_per_watt > ff.fps_per_watt);
+        assert!((fb.fps - ff.fps).abs() < 1e-9);
+        assert!((fb.fps_per_mm2 - ff.fps_per_mm2).abs() / ff.fps_per_mm2 < 0.01);
+    }
+}

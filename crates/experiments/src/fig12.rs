@@ -1,0 +1,125 @@
+//! Fig. 12: ReFOCUS vs digital accelerators (H100, TPU v3, Simba,
+//! JSSC'20) on ResNet-50 — FPS and FPS/W.
+//!
+//! External numbers are cited constants (see `refocus_arch::baselines`);
+//! the reproduced claim is the *shape*: big chips win raw FPS, ReFOCUS wins
+//! FPS/W by 5.6–24.5×.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::baselines::fig12_accelerators;
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::simulator::simulate;
+use refocus_nn::models;
+
+/// One Fig. 12 bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// System name.
+    pub name: String,
+    /// ResNet-50 FPS.
+    pub fps: f64,
+    /// ResNet-50 FPS/W.
+    pub fps_per_watt: f64,
+    /// `true` for our simulated systems, `false` for cited constants.
+    pub simulated: bool,
+}
+
+/// Computes all bars.
+pub fn compute() -> Vec<Bar> {
+    let net = models::resnet50();
+    let mut bars = Vec::new();
+    for cfg in [AcceleratorConfig::refocus_ff(), AcceleratorConfig::refocus_fb()] {
+        let r = simulate(&net, &cfg).expect("ResNet-50 maps");
+        bars.push(Bar {
+            name: cfg.name.clone(),
+            fps: r.metrics.fps,
+            fps_per_watt: r.metrics.fps_per_watt(),
+            simulated: true,
+        });
+    }
+    for acc in fig12_accelerators() {
+        let c = acc.on("ResNet-50").expect("all Fig. 12 systems report ResNet-50");
+        bars.push(Bar {
+            name: acc.name.to_string(),
+            fps: c.fps,
+            fps_per_watt: c.fps_per_watt,
+            simulated: false,
+        });
+    }
+    bars
+}
+
+/// The FPS/W advantage band of ReFOCUS-FB over the digital systems.
+pub fn efficiency_band() -> (f64, f64) {
+    let bars = compute();
+    let fb = bars
+        .iter()
+        .find(|b| b.name.contains("FB"))
+        .expect("FB simulated")
+        .fps_per_watt;
+    let digital: Vec<f64> = bars
+        .iter()
+        .filter(|b| !b.simulated)
+        .map(|b| fb / b.fps_per_watt)
+        .collect();
+    (
+        digital.iter().copied().fold(f64::INFINITY, f64::min),
+        digital.iter().copied().fold(0.0, f64::max),
+    )
+}
+
+/// Regenerates Fig. 12.
+pub fn run() -> Experiment {
+    let bars = compute();
+    let mut t = Table::new(
+        "ResNet-50: FPS and FPS/W",
+        &["system", "FPS", "FPS/W", "source"],
+    );
+    for b in &bars {
+        t.push_row(vec![
+            b.name.clone(),
+            fmt_f(b.fps),
+            fmt_f(b.fps_per_watt),
+            if b.simulated { "simulated" } else { "cited" }.into(),
+        ]);
+    }
+    let (lo, hi) = efficiency_band();
+    Experiment::new("fig12", "Fig. 12: vs digital accelerators (ResNet-50)")
+        .with_table(t)
+        .with_note(format!(
+            "ReFOCUS-FB FPS/W advantage over digital: {}x - {}x (paper: 5.6x - 24.5x)",
+            fmt_f(lo),
+            fmt_f(hi)
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_wins_raw_fps() {
+        // Fig. 12a: H100/TPU raw throughput exceeds ReFOCUS.
+        let bars = compute();
+        let h100 = bars.iter().find(|b| b.name == "H100").unwrap();
+        let fb = bars.iter().find(|b| b.name.contains("FB")).unwrap();
+        assert!(h100.fps > fb.fps);
+    }
+
+    #[test]
+    fn refocus_wins_efficiency_everywhere() {
+        let bars = compute();
+        let fb = bars.iter().find(|b| b.name.contains("FB")).unwrap();
+        for b in bars.iter().filter(|b| !b.simulated) {
+            assert!(fb.fps_per_watt > b.fps_per_watt, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn efficiency_band_overlaps_paper() {
+        // Paper: 5.6x - 24.5x. Accept the same order of magnitude.
+        let (lo, hi) = efficiency_band();
+        assert!((2.0..12.0).contains(&lo), "lo = {lo} (paper 5.6)");
+        assert!((10.0..60.0).contains(&hi), "hi = {hi} (paper 24.5)");
+    }
+}

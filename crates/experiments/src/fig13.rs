@@ -1,0 +1,127 @@
+//! Fig. 13: ReFOCUS vs Albireo, HolyLight-m, UNPU, and a tiled-RRAM
+//! accelerator on AlexNet / VGG-16 / ResNet-18 (FPS and FPS/W).
+//!
+//! Reproduced claims: ReFOCUS achieves the best FPS and FPS/W among the
+//! compared systems, up to ~25× FPS/W vs Albireo and up to ~145× vs
+//! HolyLight-m.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::baselines::fig13_accelerators;
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::simulator::simulate;
+use refocus_nn::layer::Network;
+use refocus_nn::models;
+
+/// The three networks of Fig. 13.
+pub fn networks() -> Vec<Network> {
+    vec![models::alexnet(), models::vgg16(), models::resnet18()]
+}
+
+/// Simulated ReFOCUS-FB results per network: `(network, fps, fps_per_watt)`.
+pub fn refocus_results() -> Vec<(String, f64, f64)> {
+    let cfg = AcceleratorConfig::refocus_fb();
+    networks()
+        .iter()
+        .map(|net| {
+            let r = simulate(net, &cfg).expect("network maps");
+            (
+                net.name().to_string(),
+                r.metrics.fps,
+                r.metrics.fps_per_watt(),
+            )
+        })
+        .collect()
+}
+
+/// Max FPS/W advantage of ReFOCUS over a named accelerator across the
+/// networks it reports.
+pub fn max_advantage_over(name: &str) -> f64 {
+    let ours = refocus_results();
+    let acc = fig13_accelerators()
+        .into_iter()
+        .find(|a| a.name == name)
+        .unwrap_or_else(|| panic!("unknown accelerator {name}"));
+    ours.iter()
+        .filter_map(|(net, _, fpw)| acc.on(net).map(|c| fpw / c.fps_per_watt))
+        .fold(0.0, f64::max)
+}
+
+/// Regenerates Fig. 13.
+pub fn run() -> Experiment {
+    let ours = refocus_results();
+    let accs = fig13_accelerators();
+    let mut t = Table::new(
+        "FPS (top) and FPS/W (bottom) per network",
+        &["system", "AlexNet", "VGG-16", "ResNet-18"],
+    );
+    let cell = |v: Option<f64>| v.map_or("-".to_string(), fmt_f);
+    // FPS rows.
+    t.push_row(vec![
+        "ReFOCUS-FB [FPS]".into(),
+        fmt_f(ours[0].1),
+        fmt_f(ours[1].1),
+        fmt_f(ours[2].1),
+    ]);
+    for a in &accs {
+        t.push_row(vec![
+            format!("{} [FPS]", a.name),
+            cell(a.on("AlexNet").map(|c| c.fps)),
+            cell(a.on("VGG-16").map(|c| c.fps)),
+            cell(a.on("ResNet-18").map(|c| c.fps)),
+        ]);
+    }
+    // FPS/W rows.
+    t.push_row(vec![
+        "ReFOCUS-FB [FPS/W]".into(),
+        fmt_f(ours[0].2),
+        fmt_f(ours[1].2),
+        fmt_f(ours[2].2),
+    ]);
+    for a in &accs {
+        t.push_row(vec![
+            format!("{} [FPS/W]", a.name),
+            cell(a.on("AlexNet").map(|c| c.fps_per_watt)),
+            cell(a.on("VGG-16").map(|c| c.fps_per_watt)),
+            cell(a.on("ResNet-18").map(|c| c.fps_per_watt)),
+        ]);
+    }
+    Experiment::new("fig13", "Fig. 13: vs photonic / digital / RRAM accelerators")
+        .with_table(t)
+        .with_note(format!(
+            "max FPS/W advantage: {}x vs Albireo (paper: up to 25x), {}x vs HolyLight-m (paper: up to 145x)",
+            fmt_f(max_advantage_over("Albireo")),
+            fmt_f(max_advantage_over("HolyLight-m"))
+        ))
+        .with_note("missing bars ('-') follow the paper: some works did not report all networks")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refocus_beats_every_photonic_baseline_on_efficiency() {
+        let ours = refocus_results();
+        for a in fig13_accelerators() {
+            for (net, _, fpw) in &ours {
+                if let Some(c) = a.on(net) {
+                    assert!(fpw > &c.fps_per_watt, "{} on {net}", a.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advantage_over_albireo_order_of_magnitude() {
+        let adv = max_advantage_over("Albireo");
+        assert!((8.0..80.0).contains(&adv), "advantage = {adv} (paper up to 25x)");
+    }
+
+    #[test]
+    fn advantage_over_holylight_larger() {
+        let albireo = max_advantage_over("Albireo");
+        let holylight = max_advantage_over("HolyLight-m");
+        assert!(holylight > albireo);
+        assert!((50.0..500.0).contains(&holylight), "holylight = {holylight} (paper up to 145x)");
+    }
+}

@@ -1,0 +1,138 @@
+//! Fig. 3: (a) power breakdown of the single JTC and the ReFOCUS-baseline;
+//! (b) area breakdown of the baseline's photonic components.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::simulator::simulate_suite;
+use refocus_arch::SuiteReport;
+use refocus_nn::models;
+
+/// Suite-averaged power shares of a configuration.
+pub fn power_shares(config: &AcceleratorConfig) -> (f64, Vec<(&'static str, f64)>) {
+    let suite = models::evaluation_suite();
+    let report = simulate_suite(&suite, config).expect("suite maps");
+    shares_of(&report)
+}
+
+fn shares_of(report: &SuiteReport) -> (f64, Vec<(&'static str, f64)>) {
+    // Average power = mean over networks of per-network average power;
+    // shares from summed energies weighted by time.
+    let mean_power = report.mean_power_w();
+    let mut totals: Vec<(&'static str, f64)> = Vec::new();
+    let mut grand = 0.0;
+    for r in &report.reports {
+        for (label, e) in r.energy.rows() {
+            match totals.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, v)) => *v += e.value(),
+                None => totals.push((label, e.value())),
+            }
+            grand += e.value();
+        }
+    }
+    let shares = totals
+        .into_iter()
+        .map(|(l, v)| (l, v / grand))
+        .collect::<Vec<_>>();
+    (mean_power, shares)
+}
+
+/// Regenerates Fig. 3.
+pub fn run() -> Experiment {
+    let (single_p, single) = power_shares(&AcceleratorConfig::single_jtc());
+    let (base_p, base) = power_shares(&AcceleratorConfig::photofourier_baseline());
+
+    let mut t = Table::new(
+        "power breakdown (5-CNN suite)",
+        &["component", "single JTC", "ReFOCUS-baseline"],
+    );
+    for (label, share) in &single {
+        let b = base
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        t.push_row(vec![
+            (*label).into(),
+            format!("{:.1}%", share * 100.0),
+            format!("{:.1}%", b * 100.0),
+        ]);
+    }
+
+    let area = refocus_arch::area::area_breakdown(&AcceleratorConfig::photofourier_baseline());
+    let mut ta = Table::new(
+        "baseline photonic area breakdown",
+        &["component", "mm^2", "share"],
+    );
+    let photonic = area.photonic().value();
+    for (label, v) in area.rows().into_iter().take(8) {
+        ta.push_row(vec![
+            label.into(),
+            fmt_f(v.value()),
+            format!("{:.1}%", 100.0 * v.value() / photonic),
+        ]);
+    }
+
+    Experiment::new("fig3", "Fig. 3: baseline power and area breakdowns")
+        .with_table(t)
+        .with_table(ta)
+        .with_note(format!(
+            "average power: single JTC {} W, baseline {} W (paper baseline: 15.7 W)",
+            fmt_f(single_p),
+            fmt_f(base_p)
+        ))
+        .with_note(format!(
+            "baseline photonic area {} mm^2 (paper: 90.7), total {} mm^2 (paper: 116.3)",
+            fmt_f(photonic),
+            fmt_f(area.total().value())
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_jtc_converters_dominate() {
+        // Fig. 3a: ADC + DAC > 85% for the single JTC (we reproduce >75%
+        // with our SRAM calibration; see EXPERIMENTS.md).
+        let (_, shares) = power_shares(&AcceleratorConfig::single_jtc());
+        let conv: f64 = shares
+            .iter()
+            .filter(|(l, _)| matches!(*l, "input DAC" | "weight DAC" | "ADC"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(conv > 0.75, "converter share = {conv}");
+    }
+
+    #[test]
+    fn baseline_adc_share_reduced_by_temporal_accumulation() {
+        let (_, single) = power_shares(&AcceleratorConfig::single_jtc());
+        let (_, base) = power_shares(&AcceleratorConfig::photofourier_baseline());
+        let adc = |s: &[(&str, f64)]| s.iter().find(|(l, _)| *l == "ADC").unwrap().1;
+        assert!(adc(&base) < adc(&single));
+    }
+
+    #[test]
+    fn baseline_dac_and_sram_are_the_targets() {
+        // §3: "DAC and SRAM access power constitute a large proportion".
+        let (_, base) = power_shares(&AcceleratorConfig::photofourier_baseline());
+        let dac: f64 = base
+            .iter()
+            .filter(|(l, _)| matches!(*l, "input DAC" | "weight DAC"))
+            .map(|(_, v)| v)
+            .sum();
+        let sram: f64 = base
+            .iter()
+            .filter(|(l, _)| matches!(*l, "activation SRAM" | "weight SRAM" | "data buffers"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(dac > 0.5, "dac = {dac}");
+        assert!(sram > 0.05, "sram = {sram}");
+    }
+
+    #[test]
+    fn baseline_power_close_to_paper() {
+        let (p, _) = power_shares(&AcceleratorConfig::photofourier_baseline());
+        assert!((p - 15.7).abs() < 4.0, "baseline = {p} (paper 15.7)");
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 8: power breakdowns of ReFOCUS-FF and ReFOCUS-FB (5-CNN suite).
+
+use crate::fig3::power_shares;
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::config::AcceleratorConfig;
+
+/// Regenerates Fig. 8.
+pub fn run() -> Experiment {
+    let (ff_p, ff) = power_shares(&AcceleratorConfig::refocus_ff());
+    let (fb_p, fb) = power_shares(&AcceleratorConfig::refocus_fb());
+    let mut t = Table::new(
+        "power breakdown (5-CNN suite)",
+        &["component", "ReFOCUS-FF", "ReFOCUS-FB"],
+    );
+    for (label, share) in &ff {
+        let b = fb
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        t.push_row(vec![
+            (*label).into(),
+            format!("{:.1}%", share * 100.0),
+            format!("{:.1}%", b * 100.0),
+        ]);
+    }
+    Experiment::new("fig8", "Fig. 8: ReFOCUS power breakdowns")
+        .with_table(t)
+        .with_note(format!(
+            "average power: FF {} W (paper 14.0), FB {} W (paper 10.8)",
+            fmt_f(ff_p),
+            fmt_f(fb_p)
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn share(shares: &[(&str, f64)], label: &str) -> f64 {
+        shares.iter().find(|(l, _)| *l == label).map(|(_, v)| *v).unwrap_or(0.0)
+    }
+
+    #[test]
+    fn ff_power_near_14w_fb_near_10_8w() {
+        let (ff_p, _) = power_shares(&AcceleratorConfig::refocus_ff());
+        let (fb_p, _) = power_shares(&AcceleratorConfig::refocus_fb());
+        assert!((ff_p - 14.0).abs() < 3.5, "FF = {ff_p}");
+        assert!((fb_p - 10.8).abs() < 3.0, "FB = {fb_p}");
+        assert!(ff_p > fb_p);
+    }
+
+    #[test]
+    fn dac_still_largest_in_both() {
+        // §6.1: "In both systems, DAC still consumes the most power."
+        for cfg in [AcceleratorConfig::refocus_ff(), AcceleratorConfig::refocus_fb()] {
+            let (_, shares) = power_shares(&cfg);
+            let dac = share(&shares, "input DAC") + share(&shares, "weight DAC");
+            for (label, v) in &shares {
+                if !matches!(*label, "input DAC" | "weight DAC") {
+                    assert!(dac > *v, "{}: DAC {dac} vs {label} {v}", cfg.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fb_laser_share_higher_than_ff() {
+        let (_, ff) = power_shares(&AcceleratorConfig::refocus_ff());
+        let (_, fb) = power_shares(&AcceleratorConfig::refocus_fb());
+        assert!(share(&fb, "laser") > share(&ff, "laser"));
+    }
+
+    #[test]
+    fn fb_input_dac_share_much_lower_than_ff() {
+        let (_, ff) = power_shares(&AcceleratorConfig::refocus_ff());
+        let (_, fb) = power_shares(&AcceleratorConfig::refocus_fb());
+        assert!(share(&fb, "input DAC") < share(&ff, "input DAC") / 2.0);
+    }
+}

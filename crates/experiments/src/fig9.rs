@@ -1,0 +1,56 @@
+//! Fig. 9: area breakdown of ReFOCUS (photonic + CMOS/SRAM).
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::area::area_breakdown;
+use refocus_arch::config::AcceleratorConfig;
+
+/// Regenerates Fig. 9.
+pub fn run() -> Experiment {
+    let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+    let mut t = Table::new("ReFOCUS area breakdown", &["component", "mm^2", "share"]);
+    let total = a.total().value();
+    for (label, v) in a.rows() {
+        t.push_row(vec![
+            label.into(),
+            fmt_f(v.value()),
+            format!("{:.1}%", 100.0 * v.value() / total),
+        ]);
+    }
+    Experiment::new("fig9", "Fig. 9: ReFOCUS area breakdown")
+        .with_table(t)
+        .with_note(format!(
+            "totals: {} mm^2 overall (paper 171.1), {} photonic (paper 135.7), \
+             lenses {} (paper 58.5), delay lines {} (paper 41.0), SRAM {} (paper 12.4)",
+            fmt_f(total),
+            fmt_f(a.photonic().value()),
+            fmt_f(a.lenses.value()),
+            fmt_f(a.delay_lines.value()),
+            fmt_f(a.sram.value()),
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_match() {
+        let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+        assert!((a.total().value() - 171.1).abs() < 6.0);
+        assert!((a.photonic().value() - 135.7).abs() < 2.0);
+        assert!((a.lenses.value() - 58.5).abs() < 0.5);
+        assert!((a.delay_lines.value() - 41.0).abs() < 0.5);
+        assert!((a.sram.value() - 12.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn lenses_and_delay_lines_are_top_two_photonic() {
+        let a = area_breakdown(&AcceleratorConfig::refocus_fb());
+        let rows = a.rows();
+        let photonic_rows = &rows[..8];
+        let mut sorted: Vec<_> = photonic_rows.to_vec();
+        sorted.sort_by(|x, y| y.1.value().total_cmp(&x.1.value()));
+        assert_eq!(sorted[0].0, "lenses");
+        assert_eq!(sorted[1].0, "delay lines");
+    }
+}

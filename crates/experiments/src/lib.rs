@@ -1,0 +1,115 @@
+//! # refocus-experiments
+//!
+//! Regenerates **every table and figure** of the ReFOCUS paper from the
+//! simulator, printing the same rows/series the paper reports with the
+//! paper's values alongside. One module per artifact:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`sec2_2`] | §2.2 JTC-vs-GPU conversion-count example |
+//! | [`table1`] | Table 1 — delay-line length/area/loss |
+//! | [`table2`] | Table 2 — area & FPS/mm² for 1 vs 2 wavelengths |
+//! | [`table4`] | Table 4 — delay-length design-space sweep |
+//! | [`table5`] | Table 5 — feedback-buffer laser power & dynamic range |
+//! | [`table6`] | Table 6 — component power/area constants |
+//! | [`table7`] | Table 7 — reuse achieved by each optimization |
+//! | [`fig3`]  | Fig. 3 — baseline power & area breakdowns |
+//! | [`fig7`]  | Fig. 7 — alternating OS-IS dataflow trace |
+//! | [`fig8`]  | Fig. 8 — ReFOCUS-FF/FB power breakdowns |
+//! | [`fig9`]  | Fig. 9 — ReFOCUS area breakdown |
+//! | [`fig10`] | Fig. 10 — FPS/W vs cumulative optimizations |
+//! | [`fig11`] | Fig. 11 — ReFOCUS vs PhotoFourier (5 CNNs) |
+//! | [`fig12`] | Fig. 12 — vs digital accelerators (ResNet-50) |
+//! | [`fig13`] | Fig. 13 — vs photonic/digital/RRAM (3 CNNs) |
+//! | [`sec7_3`] | §7.3 — weight sharing + channel reordering |
+//! | [`ablations`] | extensions: slow light (§7.5), batching, WDM walk-off (§4.2.3), HBM3 (§7.3) |
+//! | [`summary`] | headline reproduction scorecard |
+//!
+//! The `report` binary prints everything:
+//! `cargo run -p refocus-experiments --bin report [--experiment fig11] [--json]`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod render;
+pub mod sec2_2;
+pub mod sec7_3;
+pub mod summary;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+pub use render::{Experiment, Table};
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        sec2_2::run(),
+        table1::run(),
+        table2::run(),
+        fig3::run(),
+        fig7::run(),
+        table4::run(),
+        table5::run(),
+        table6::run(),
+        table7::run(),
+        fig8::run(),
+        fig9::run(),
+        fig10::run(),
+        fig11::run(),
+        fig12::run(),
+        fig13::run(),
+        sec7_3::run(),
+        ablations::run(),
+        summary::run(),
+    ]
+}
+
+/// Looks up an experiment by id (e.g. `"fig11"`, `"table4"`).
+pub fn experiment_by_id(id: &str) -> Option<Experiment> {
+    all_experiments().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_experiments_render() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 18);
+        for e in &all {
+            let text = e.render();
+            assert!(text.contains(&e.title), "{}", e.id);
+            assert!(!e.tables.is_empty(), "{} has no tables", e.id);
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(experiment_by_id("fig11").is_some());
+        assert!(experiment_by_id("table4").is_some());
+        assert!(experiment_by_id("nope").is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let all = all_experiments();
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

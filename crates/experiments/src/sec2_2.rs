@@ -1,0 +1,152 @@
+//! §2.2 worked example: JTC conversions vs GPU MACs.
+//!
+//! "JTC with 256 input waveguides requires more than 5 times fewer
+//! computations than a GPU when computing a convolution between a 32×32
+//! input and a 3×3 kernel ... 1590 conversions in total (6×(256+9)) while
+//! GPU typically requires 9216 multiply-and-accumulate operations."
+
+use crate::render::{Experiment, Table};
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::perf::NetworkPerf;
+use refocus_nn::conv::conv_macs;
+use refocus_nn::models;
+use refocus_nn::tiling::{TilingMode, TilingPlan};
+
+/// The example's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Example {
+    /// The computed tiling plan.
+    pub plan: TilingPlan,
+    /// JTC conversions.
+    pub jtc_conversions: u64,
+    /// GPU multiply-accumulates.
+    pub gpu_macs: u64,
+}
+
+/// Computes the example.
+pub fn compute() -> Example {
+    let plan = TilingPlan::plan((32, 32), 3, 1, 1, 256, TilingMode::Approximate)
+        .expect("the paper's example is tileable");
+    Example {
+        plan,
+        jtc_conversions: plan.total_conversions(),
+        gpu_macs: conv_macs(1, 1, 3, 32, 32),
+    }
+}
+
+/// Fraction of a network's cycles spent in row-partitioned layers (the
+/// §2.2 claim: "the overhead of partial row-tiling and row-partitioning is
+/// negligible" because only first layers are affected).
+pub fn partitioned_cycle_fraction(network: &refocus_nn::layer::Network) -> f64 {
+    let cfg = AcceleratorConfig::refocus_fb();
+    let perf = NetworkPerf::analyze(network, &cfg).expect("network maps");
+    let partitioned: u64 = perf
+        .layers
+        .iter()
+        .filter(|l| l.plan.row_partitioned)
+        .map(|l| l.cycles)
+        .sum();
+    partitioned as f64 / perf.total_cycles as f64
+}
+
+/// Regenerates the §2.2 comparison.
+pub fn run() -> Experiment {
+    let ex = compute();
+    let mut t = Table::new(
+        "32x32 input * 3x3 kernel on a 256-waveguide JTC",
+        &["quantity", "measured", "paper"],
+    );
+    t.push_row(vec![
+        "rows tiled per pass".into(),
+        ex.plan.rows_per_pass.to_string(),
+        "8".into(),
+    ]);
+    t.push_row(vec![
+        "valid output rows per pass".into(),
+        ex.plan.valid_rows_per_pass.to_string(),
+        "6".into(),
+    ]);
+    t.push_row(vec![
+        "JTC passes".into(),
+        ex.plan.passes.to_string(),
+        "6".into(),
+    ]);
+    t.push_row(vec![
+        "JTC conversions".into(),
+        ex.jtc_conversions.to_string(),
+        "1590".into(),
+    ]);
+    t.push_row(vec![
+        "GPU MACs".into(),
+        ex.gpu_macs.to_string(),
+        "9216".into(),
+    ]);
+    t.push_row(vec![
+        "advantage".into(),
+        format!("{:.2}x", ex.gpu_macs as f64 / ex.jtc_conversions as f64),
+        ">5x".into(),
+    ]);
+    // The "partitioning is negligible" claim, per network.
+    let mut tp = Table::new(
+        "cycles spent in row-partitioned layers (claimed negligible)",
+        &["network", "fraction of cycles"],
+    );
+    for net in models::evaluation_suite() {
+        tp.push_row(vec![
+            net.name().to_string(),
+            format!("{:.2}%", partitioned_cycle_fraction(&net) * 100.0),
+        ]);
+    }
+    Experiment::new("sec2_2", "Sec. 2.2: JTC conversions vs GPU MACs")
+        .with_table(t)
+        .with_table(tp)
+        .with_note(
+            "row partitioning only ever triggers on >=112-wide early layers; for ResNets its \
+             cycle share is small, while AlexNet/VGG pay it on stems that also carry most MACs",
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_concentrates_in_early_high_res_layers() {
+        // §2.2 claims partitioning overhead is "negligible" because it only
+        // hits first layers. That holds cleanly for the ResNets (7x7 stem
+        // only: <= ~10% of cycles). AlexNet/VGG-16 genuinely spend about
+        // half their cycles in 224-wide partitioned layers on a
+        // 256-waveguide tile — but those layers also carry the bulk of the
+        // networks' MACs, so the *overhead* (cycles beyond the work) stays
+        // bounded. We assert the structural part of the claim.
+        assert!(partitioned_cycle_fraction(&models::resnet18()) < 0.12);
+        assert!(partitioned_cycle_fraction(&models::resnet34()) < 0.08);
+        assert!(partitioned_cycle_fraction(&models::resnet50()) < 0.03);
+        // Only ever first/stem layers are partitioned.
+        let cfg = AcceleratorConfig::refocus_fb();
+        for net in models::evaluation_suite() {
+            let perf = NetworkPerf::analyze(&net, &cfg).unwrap();
+            for (layer, lp) in net.layers().iter().zip(&perf.layers) {
+                if lp.plan.row_partitioned {
+                    assert!(
+                        layer.input_hw.0 >= 112,
+                        "{}: unexpectedly partitioned {}",
+                        net.name(),
+                        layer.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_numbers_exact() {
+        let ex = compute();
+        assert_eq!(ex.plan.rows_per_pass, 8);
+        assert_eq!(ex.plan.valid_rows_per_pass, 6);
+        assert_eq!(ex.plan.passes, 6);
+        assert_eq!(ex.jtc_conversions, 1590);
+        assert_eq!(ex.gpu_macs, 9216);
+        assert!(ex.gpu_macs as f64 / ex.jtc_conversions as f64 > 5.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Reproduction scorecard: the paper's headline numbers vs this
+//! simulator's, in one table (the README's summary, computed live).
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::dse::{max_rfcus, Variant, PHOTONIC_AREA_BUDGET_MM2, TABLE4_DELAY_CYCLES};
+use refocus_arch::simulator::simulate_suite;
+use refocus_nn::models;
+use refocus_photonics::buffer::FeedbackBuffer;
+
+/// The computed scorecard values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    /// FB vs baseline throughput ratio (paper: 2×).
+    pub throughput_ratio: f64,
+    /// FB vs baseline FPS/W ratio (paper: 2.2×).
+    pub efficiency_ratio: f64,
+    /// FB vs baseline FPS/mm² ratio (paper: 1.36×).
+    pub area_efficiency_ratio: f64,
+    /// FF average power (paper: 14.0 W).
+    pub ff_power_w: f64,
+    /// FB average power (paper: 10.8 W).
+    pub fb_power_w: f64,
+    /// Photonic area (paper: 135.7 mm²).
+    pub photonic_area_mm2: f64,
+    /// Table 4 RFCU row (paper: 25/24/23/21/18/11).
+    pub rfcu_row: Vec<usize>,
+    /// Table 5 R=15 optimal-α laser power (paper: 3.87).
+    pub r15_laser_power: f64,
+    /// ReFOCUS-FB ops efficiency on ResNet-50 in TOPS/W.
+    pub fb_tops_per_watt: f64,
+}
+
+/// Computes the scorecard.
+pub fn compute() -> Scorecard {
+    let suite = models::evaluation_suite();
+    let base = simulate_suite(&suite, &AcceleratorConfig::photofourier_baseline()).unwrap();
+    let ff = simulate_suite(&suite, &AcceleratorConfig::refocus_ff()).unwrap();
+    let fb = simulate_suite(&suite, &AcceleratorConfig::refocus_fb()).unwrap();
+    Scorecard {
+        throughput_ratio: fb.geomean_fps() / base.geomean_fps(),
+        efficiency_ratio: fb.geomean_fps_per_watt() / base.geomean_fps_per_watt(),
+        area_efficiency_ratio: fb.geomean_fps_per_mm2() / base.geomean_fps_per_mm2(),
+        ff_power_w: ff.mean_power_w(),
+        fb_power_w: fb.mean_power_w(),
+        photonic_area_mm2: fb.reports[0].area.photonic().value(),
+        rfcu_row: TABLE4_DELAY_CYCLES
+            .iter()
+            .map(|&m| max_rfcus(Variant::FeedBack, m, PHOTONIC_AREA_BUDGET_MM2))
+            .collect(),
+        r15_laser_power: FeedbackBuffer::refocus_fb().relative_laser_power(),
+        fb_tops_per_watt: fb
+            .for_network("ResNet-50")
+            .expect("suite contains ResNet-50")
+            .metrics
+            .tops_per_watt(),
+    }
+}
+
+/// Regenerates the scorecard.
+pub fn run() -> Experiment {
+    let s = compute();
+    let mut t = Table::new("headline reproduction scorecard", &["claim", "paper", "measured"]);
+    t.push_row(vec![
+        "FB vs baseline throughput".into(),
+        "2x".into(),
+        format!("{}x", fmt_f(s.throughput_ratio)),
+    ]);
+    t.push_row(vec![
+        "FB vs baseline FPS/W".into(),
+        "2.2x".into(),
+        format!("{}x", fmt_f(s.efficiency_ratio)),
+    ]);
+    t.push_row(vec![
+        "FB vs baseline FPS/mm^2".into(),
+        "1.36x".into(),
+        format!("{}x", fmt_f(s.area_efficiency_ratio)),
+    ]);
+    t.push_row(vec![
+        "FF / FB average power".into(),
+        "14.0 / 10.8 W".into(),
+        format!("{} / {} W", fmt_f(s.ff_power_w), fmt_f(s.fb_power_w)),
+    ]);
+    t.push_row(vec![
+        "photonic area".into(),
+        "135.7 mm^2".into(),
+        format!("{} mm^2", fmt_f(s.photonic_area_mm2)),
+    ]);
+    t.push_row(vec![
+        "Table 4 N_RFCU row".into(),
+        "25/24/23/21/18/11".into(),
+        s.rfcu_row
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("/"),
+    ]);
+    t.push_row(vec![
+        "Table 5 R=15 laser power".into(),
+        "3.87x".into(),
+        format!("{}x", fmt_f(s.r15_laser_power)),
+    ]);
+    t.push_row(vec![
+        "FB ops efficiency (ResNet-50)".into(),
+        "-".into(),
+        format!("{} TOPS/W", fmt_f(s.fb_tops_per_watt)),
+    ]);
+    Experiment::new("summary", "Reproduction scorecard").with_table(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scorecard_within_reproduction_bands() {
+        let s = compute();
+        assert!((1.85..2.1).contains(&s.throughput_ratio));
+        assert!((1.7..3.4).contains(&s.efficiency_ratio));
+        assert!((1.1..1.7).contains(&s.area_efficiency_ratio));
+        assert!((s.ff_power_w - 14.0).abs() < 3.5);
+        assert!((s.fb_power_w - 10.8).abs() < 3.0);
+        assert!((s.photonic_area_mm2 - 135.7).abs() < 2.0);
+        assert_eq!(s.rfcu_row, vec![25, 24, 23, 21, 18, 11]);
+        assert!((s.r15_laser_power - 3.87).abs() < 0.02);
+        // Photonics-class ops efficiency: an order above digital ASICs.
+        assert!(s.fb_tops_per_watt > 3.0, "TOPS/W = {}", s.fb_tops_per_watt);
+    }
+}

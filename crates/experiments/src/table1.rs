@@ -1,0 +1,67 @@
+//! Table 1: geometry of a one-cycle (0.1 ns @ 10 GHz) delay line.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_photonics::components::DelayLine;
+use refocus_photonics::units::GigaHertz;
+
+/// Regenerates Table 1.
+pub fn run() -> Experiment {
+    let dl = DelayLine::for_cycles(1, GigaHertz::new(10.0));
+    let mut t = Table::new(
+        "delay line with 0.1 ns delay (1 cycle @ 10 GHz)",
+        &["quantity", "measured", "paper"],
+    );
+    t.push_row(vec![
+        "length (mm)".into(),
+        fmt_f(dl.length().value()),
+        "8.57".into(),
+    ]);
+    t.push_row(vec![
+        "area (mm^2)".into(),
+        fmt_f(dl.area().value()),
+        "0.01".into(),
+    ]);
+    t.push_row(vec![
+        "loss (dB)".into(),
+        fmt_f(dl.loss().value()),
+        "6.94e-3".into(),
+    ]);
+    // The 16-cycle line ReFOCUS actually ships with.
+    let dl16 = DelayLine::for_cycles(16, GigaHertz::new(10.0));
+    let mut t16 = Table::new(
+        "the shipped 16-cycle delay line (x256 waveguides)",
+        &["quantity", "measured", "paper"],
+    );
+    t16.push_row(vec![
+        "area per line (mm^2)".into(),
+        fmt_f(dl16.area().value()),
+        "0.16".into(),
+    ]);
+    t16.push_row(vec![
+        "total area, 256 lines (mm^2)".into(),
+        fmt_f(dl16.area().value() * 256.0),
+        "41.0 (Fig. 9)".into(),
+    ]);
+    t16.push_row(vec![
+        "loss per line (dB)".into(),
+        fmt_f(dl16.loss().value()),
+        "0.111".into(),
+    ]);
+    Experiment::new("table1", "Table 1: optical delay line geometry")
+        .with_table(t)
+        .with_table(t16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_values() {
+        let e = run();
+        let s = e.render();
+        assert!(s.contains("8.57"));
+        assert!(s.contains("0.01"));
+        assert_eq!(e.tables.len(), 2);
+    }
+}

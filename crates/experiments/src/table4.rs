@@ -1,0 +1,140 @@
+//! Table 4: delay-line length sweep under the 150 mm² photonic budget.
+//!
+//! For M ∈ {1, 2, 4, 8, 16, 32}: placeable RFCUs, and geomean relative
+//! FPS/W, FPS/mm², PAP over {VGG-16, ResNet-18/34/50}, for both ReFOCUS-FF
+//! and ReFOCUS-FB. Paper row (shared): N_RFCU = 25, 24, 23, 21, 18, 11.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::dse::{sweep, DseRow, Variant};
+use refocus_nn::models;
+
+/// Paper values for the FF rows: (M, N, FPS/W, FPS/mm², PAP).
+pub const PAPER_FF: [(u32, usize, f64, f64, f64); 6] = [
+    (1, 25, 1.00, 1.00, 1.00),
+    (2, 24, 1.92, 1.00, 1.92),
+    (4, 23, 2.83, 0.97, 2.75),
+    (8, 21, 3.71, 0.91, 3.39),
+    (16, 18, 4.51, 0.80, 3.61),
+    (32, 11, 4.72, 0.53, 2.52),
+];
+
+/// Paper values for the FB rows.
+pub const PAPER_FB: [(u32, usize, f64, f64, f64); 6] = [
+    (1, 25, 1.00, 1.00, 1.00),
+    (2, 24, 2.00, 0.99, 1.98),
+    (4, 23, 3.07, 0.96, 2.96),
+    (8, 21, 4.18, 0.91, 3.80),
+    (16, 18, 5.20, 0.80, 4.14),
+    (32, 11, 5.17, 0.53, 2.75),
+];
+
+/// Runs both sweeps over the paper's DSE suite.
+pub fn compute() -> (Vec<DseRow>, Vec<DseRow>) {
+    let suite = models::dse_suite();
+    let ff = sweep(Variant::FeedForward, &suite).expect("suite maps");
+    let fb = sweep(Variant::FeedBack, &suite).expect("suite maps");
+    (ff, fb)
+}
+
+fn table_for(name: &str, rows: &[DseRow], paper: &[(u32, usize, f64, f64, f64)]) -> Table {
+    let mut t = Table::new(
+        format!("{name}: sweep of delay length M (relative to M=1)"),
+        &[
+            "M", "N_RFCU", "FPS/W", "FPS/mm^2", "PAP", "paper N", "paper FPS/W", "paper PAP",
+        ],
+    );
+    for (row, p) in rows.iter().zip(paper) {
+        t.push_row(vec![
+            row.delay_cycles.to_string(),
+            row.rfcus.to_string(),
+            fmt_f(row.relative_fps_per_watt),
+            fmt_f(row.relative_fps_per_mm2),
+            fmt_f(row.relative_pap),
+            p.1.to_string(),
+            fmt_f(p.2),
+            fmt_f(p.4),
+        ]);
+    }
+    t
+}
+
+/// Regenerates Table 4.
+pub fn run() -> Experiment {
+    let (ff, fb) = compute();
+    Experiment::new("table4", "Table 4: delay-line design-space exploration")
+        .with_table(table_for("ReFOCUS-FF", &ff, &PAPER_FF))
+        .with_table(table_for("ReFOCUS-FB", &fb, &PAPER_FB))
+        .with_note(format!(
+            "absolute geomean at M=1 (FF): {} FPS/W, {} FPS/mm^2 (paper: 237, 196)",
+            fmt_f(ff[0].fps_per_watt),
+            fmt_f(ff[0].fps_per_mm2)
+        ))
+        .with_note("PAP peaks at M=16 in both variants, the paper's design choice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refocus_arch::dse::{optimal_row, TABLE4_DELAY_CYCLES};
+
+    #[test]
+    fn rfcu_row_matches_paper_exactly() {
+        let (ff, fb) = compute();
+        for (i, &m) in TABLE4_DELAY_CYCLES.iter().enumerate() {
+            assert_eq!(ff[i].delay_cycles, m);
+            assert_eq!(ff[i].rfcus, PAPER_FF[i].1, "FF M={m}");
+            assert_eq!(fb[i].rfcus, PAPER_FB[i].1, "FB M={m}");
+        }
+    }
+
+    #[test]
+    fn pap_peaks_at_16_for_both_variants() {
+        let (ff, fb) = compute();
+        assert_eq!(optimal_row(&ff).delay_cycles, 16);
+        assert_eq!(optimal_row(&fb).delay_cycles, 16);
+    }
+
+    #[test]
+    fn fb_gains_more_fps_per_watt_than_ff() {
+        // Paper: FB's M=16 relative FPS/W (5.20) exceeds FF's (4.51).
+        let (ff, fb) = compute();
+        assert!(fb[4].relative_fps_per_watt > ff[4].relative_fps_per_watt);
+    }
+
+    #[test]
+    fn relative_fps_per_watt_within_2x_of_paper() {
+        // Shape check: each relative FPS/W within a factor 2 of Table 4.
+        let (ff, fb) = compute();
+        for (rows, paper) in [(&ff, &PAPER_FF), (&fb, &PAPER_FB)] {
+            for (row, p) in rows.iter().zip(paper.iter()) {
+                let ratio = row.relative_fps_per_watt / p.2;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "M={}: got {}, paper {}",
+                    p.0,
+                    row.relative_fps_per_watt,
+                    p.2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_efficiency_declines_with_m() {
+        let (ff, _) = compute();
+        assert!(ff[5].relative_fps_per_mm2 < ff[1].relative_fps_per_mm2);
+        // Endpoint close to the paper's 0.53.
+        assert!(
+            (0.4..0.7).contains(&ff[5].relative_fps_per_mm2),
+            "got {}",
+            ff[5].relative_fps_per_mm2
+        );
+    }
+
+    #[test]
+    fn absolute_m1_fps_per_watt_within_2x_of_paper() {
+        let (ff, _) = compute();
+        let abs = ff[0].fps_per_watt;
+        assert!((120.0..500.0).contains(&abs), "abs = {abs} (paper 237)");
+    }
+}

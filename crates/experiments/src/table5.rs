@@ -1,0 +1,120 @@
+//! Table 5: feedback-buffer laser power and dynamic range vs `R` and `α`.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_photonics::buffer::FeedbackBuffer;
+use refocus_photonics::units::GigaHertz;
+
+/// The reuse counts Table 5 sweeps.
+pub const REUSES: [u32; 6] = [1, 3, 7, 15, 31, 63];
+
+/// Paper values for α = 1/(R+1): (relative LP = dynamic range).
+pub const PAPER_OPTIMAL: [f64; 6] = [2.05, 2.56, 3.05, 3.87, 5.96, 13.7];
+/// Paper values for α = 0.5: (relative LP, dynamic range).
+pub const PAPER_HALF: [(f64, f64); 6] = [
+    (2.05, 2.05),
+    (4.32, 8.64),
+    (38.4, 153.0),
+    (6.0e3, 4.8e4),
+    (3.0e8, 4.8e9),
+    (1.5e18, 4.7e19),
+];
+
+/// One computed row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Reuse count R.
+    pub reuses: u32,
+    /// Relative laser power.
+    pub relative_laser_power: f64,
+    /// Dynamic range of input signals.
+    pub dynamic_range: f64,
+}
+
+/// Computes the sweep for a given split-ratio policy.
+pub fn compute(optimal_alpha: bool) -> Vec<Row> {
+    let clock = GigaHertz::new(10.0);
+    REUSES
+        .iter()
+        .map(|&r| {
+            let buf = if optimal_alpha {
+                FeedbackBuffer::with_optimal_split(r, 16, clock)
+            } else {
+                FeedbackBuffer::new(0.5, r, 16, clock)
+            }
+            .expect("valid buffer");
+            Row {
+                reuses: r,
+                relative_laser_power: buf.relative_laser_power(),
+                dynamic_range: buf.dynamic_range(),
+            }
+        })
+        .collect()
+}
+
+/// Regenerates Table 5.
+pub fn run() -> Experiment {
+    let opt = compute(true);
+    let half = compute(false);
+    let mut t1 = Table::new(
+        "alpha = 1/(R+1)",
+        &["R", "rel. laser power", "dyn. range", "paper (both)"],
+    );
+    for (row, paper) in opt.iter().zip(PAPER_OPTIMAL) {
+        t1.push_row(vec![
+            row.reuses.to_string(),
+            fmt_f(row.relative_laser_power),
+            fmt_f(row.dynamic_range),
+            fmt_f(paper),
+        ]);
+    }
+    let mut t2 = Table::new(
+        "alpha = 0.5",
+        &["R", "rel. LP", "paper LP", "dyn. range", "paper DR"],
+    );
+    for (row, (plp, pdr)) in half.iter().zip(PAPER_HALF) {
+        t2.push_row(vec![
+            row.reuses.to_string(),
+            fmt_f(row.relative_laser_power),
+            fmt_f(plp),
+            fmt_f(row.dynamic_range),
+            fmt_f(pdr),
+        ]);
+    }
+    Experiment::new("table5", "Table 5: feedback-buffer laser power & dynamic range")
+        .with_table(t1)
+        .with_table(t2)
+        .with_note("R = 15 with optimal alpha keeps both under 4x — the ReFOCUS-FB choice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_alpha_matches_paper_within_2_percent() {
+        for (row, paper) in compute(true).iter().zip(PAPER_OPTIMAL) {
+            let rel = (row.relative_laser_power - paper).abs() / paper;
+            assert!(rel < 0.02, "R={}: {} vs {paper}", row.reuses, row.relative_laser_power);
+            let rel = (row.dynamic_range - paper).abs() / paper;
+            assert!(rel < 0.02, "R={} DR", row.reuses);
+        }
+    }
+
+    #[test]
+    fn half_alpha_matches_paper_within_7_percent() {
+        for (row, (plp, pdr)) in compute(false).iter().zip(PAPER_HALF) {
+            let rel = (row.relative_laser_power - plp).abs() / plp;
+            assert!(rel < 0.07, "R={}: LP {} vs {plp}", row.reuses, row.relative_laser_power);
+            let rel = (row.dynamic_range - pdr).abs() / pdr;
+            assert!(rel < 0.07, "R={}: DR {} vs {pdr}", row.reuses, row.dynamic_range);
+        }
+    }
+
+    #[test]
+    fn r15_fits_8bit_dynamic_range_only_with_optimal_alpha() {
+        let opt = &compute(true)[3];
+        let half = &compute(false)[3];
+        assert!(opt.dynamic_range < 256.0);
+        assert!(half.dynamic_range > 256.0);
+    }
+}

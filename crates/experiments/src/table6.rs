@@ -1,0 +1,100 @@
+//! Table 6: component power and area constants.
+//!
+//! These are the model's inputs (taken verbatim from the paper), printed so
+//! a reader can confirm the simulator runs on the paper's numbers.
+
+use crate::render::{fmt_f, Experiment, Table};
+use refocus_photonics::components::{
+    Adc, Dac, DelayLine, Laser, Lens, Mrr, Photodetector, YJunction,
+};
+use refocus_photonics::units::GigaHertz;
+
+/// Regenerates Table 6.
+pub fn run() -> Experiment {
+    let mut power = Table::new("active component power", &["component", "power (mW)", "paper"]);
+    power.push_row(vec![
+        "MRR".into(),
+        fmt_f(Mrr::new().power().value()),
+        "0.42".into(),
+    ]);
+    power.push_row(vec![
+        "laser (min, per waveguide)".into(),
+        fmt_f(Laser::new().min_power().value()),
+        "0.1".into(),
+    ]);
+    power.push_row(vec![
+        "ADC @ 625 MHz".into(),
+        fmt_f(Adc::new().power().value()),
+        "0.93".into(),
+    ]);
+    power.push_row(vec![
+        "DAC @ 10 GHz".into(),
+        fmt_f(Dac::new().power().value()),
+        "35.71".into(),
+    ]);
+
+    let mut area = Table::new("photonic component area", &["component", "area (um^2)", "paper"]);
+    area.push_row(vec![
+        "MRR".into(),
+        fmt_f(Mrr::new().area().value()),
+        "255".into(),
+    ]);
+    area.push_row(vec![
+        "photodetector".into(),
+        fmt_f(Photodetector::new().area().value()),
+        "1920".into(),
+    ]);
+    area.push_row(vec![
+        "Y-junction".into(),
+        fmt_f(YJunction::new().area().value()),
+        "2.6".into(),
+    ]);
+    area.push_row(vec![
+        "laser".into(),
+        fmt_f(Laser::new().area().value()),
+        "1.2e5".into(),
+    ]);
+    area.push_row(vec![
+        "delay line (0.1 ns)".into(),
+        fmt_f(
+            DelayLine::for_cycles(1, GigaHertz::new(10.0))
+                .area()
+                .to_square_micrometers()
+                .value(),
+        ),
+        "1e4".into(),
+    ]);
+    area.push_row(vec![
+        "lens (Table 6 nominal)".into(),
+        fmt_f(Lens::new().area().value()),
+        "2e6".into(),
+    ]);
+
+    Experiment::new("table6", "Table 6: component power and area")
+        .with_table(power)
+        .with_table(area)
+        .with_note(
+            "the area model uses an effective 1.83 mm^2 lens calibrated to Fig. 9's \
+             58.5 mm^2 total for 32 lenses (see DESIGN.md)",
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_table6_verbatim() {
+        assert_eq!(Mrr::new().power().value(), 0.42);
+        assert_eq!(Laser::new().min_power().value(), 0.1);
+        assert_eq!(Adc::new().power().value(), 0.93);
+        assert_eq!(Dac::new().power().value(), 35.71);
+        assert_eq!(Mrr::new().area().value(), 255.0);
+        assert_eq!(Photodetector::new().area().value(), 1920.0);
+        assert_eq!(YJunction::new().area().value(), 2.6);
+        assert_eq!(Laser::new().area().value(), 1.2e5);
+        assert_eq!(Lens::new().area().value(), 2e6);
+        let dl = DelayLine::for_cycles(1, GigaHertz::new(10.0));
+        assert!((dl.area().to_square_micrometers().value() - 1e4).abs() < 50.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 7: potential reuse achieved by each optimization.
+
+use crate::render::{Experiment, Table};
+use refocus_arch::config::AcceleratorConfig;
+
+/// Reuse factors of one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseRow {
+    /// Configuration name.
+    pub name: String,
+    /// Input reuse from broadcasting (RFCU fan-out).
+    pub broadcast: usize,
+    /// Input reuse from the optical buffer (uses per generation).
+    pub optical_buffer: Option<u32>,
+    /// Input reuse from WDM.
+    pub wdm: Option<usize>,
+    /// Output reuse from temporal accumulation.
+    pub temporal_accumulation: u32,
+}
+
+/// Derives the reuse row of a configuration.
+pub fn reuse_of(config: &AcceleratorConfig) -> ReuseRow {
+    ReuseRow {
+        name: config.name.clone(),
+        broadcast: config.rfcus,
+        optical_buffer: (config.max_input_uses() > 1).then(|| config.max_input_uses()),
+        wdm: (config.wavelengths > 1).then_some(config.wavelengths),
+        temporal_accumulation: config.temporal_accumulation,
+    }
+}
+
+/// Regenerates Table 7.
+pub fn run() -> Experiment {
+    let rows = [
+        (reuse_of(&AcceleratorConfig::photofourier_baseline()), "16x / N/A / N/A / 16x"),
+        (reuse_of(&AcceleratorConfig::refocus_ff()), "16x / 2x / 2x / 16x"),
+        (reuse_of(&AcceleratorConfig::refocus_fb()), "16x / 16x / 2x / 16x"),
+    ];
+    let mut t = Table::new(
+        "potential reuse per optimization",
+        &["system", "broadcast", "OB", "WDM", "TA", "paper"],
+    );
+    for (row, paper) in rows {
+        t.push_row(vec![
+            row.name.clone(),
+            format!("{}x", row.broadcast),
+            row.optical_buffer
+                .map_or("N/A".into(), |v| format!("{v}x")),
+            row.wdm.map_or("N/A".into(), |v| format!("{v}x")),
+            format!("{}x", row.temporal_accumulation),
+            paper.into(),
+        ]);
+    }
+    Experiment::new("table7", "Table 7: reuse achieved by each optimization").with_table(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_rows() {
+        let base = reuse_of(&AcceleratorConfig::photofourier_baseline());
+        assert_eq!(base.broadcast, 16);
+        assert_eq!(base.optical_buffer, None);
+        assert_eq!(base.wdm, None);
+        assert_eq!(base.temporal_accumulation, 16);
+
+        let ff = reuse_of(&AcceleratorConfig::refocus_ff());
+        assert_eq!(ff.optical_buffer, Some(2));
+        assert_eq!(ff.wdm, Some(2));
+
+        let fb = reuse_of(&AcceleratorConfig::refocus_fb());
+        assert_eq!(fb.optical_buffer, Some(16));
+        assert_eq!(fb.wdm, Some(2));
+        assert_eq!(fb.temporal_accumulation, 16);
+    }
+}

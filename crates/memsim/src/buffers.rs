@@ -1,0 +1,205 @@
+//! SRAM data-buffer sizing per the ReFOCUS dataflow (paper §5.3.3).
+//!
+//! Small buffers between the big shared SRAMs and the converters cut access
+//! energy. Their sizes depend on which dataflow continuation is chosen
+//! after an input channel group's reuse completes:
+//!
+//! * **Case 1** (next filter, ReFOCUS's choice): small input buffer
+//!   `B_in1 = T · M · N_λ`, large output buffer `B_out1 = T · N_F / N_RFCU`.
+//! * **Case 2** (next channel group): large input buffer
+//!   `B_in2 = T · N_C · N_λ`, small output buffer `B_out2 = T · (R + 1)`.
+//!
+//! ReFOCUS picks case 1 because the *input* buffer is on the every-cycle
+//! path and must stay small/fast. Buffers are ping-ponged (doubled) so fill
+//! and drain overlap.
+
+use crate::sram::Sram;
+use serde::{Deserialize, Serialize};
+
+/// Which §5.3.3 dataflow continuation the buffers are sized for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DataflowCase {
+    /// Process the next filter for the same input channel group
+    /// (ReFOCUS's choice: small input buffer, large output buffer).
+    #[default]
+    NextFilter,
+    /// Process the next channel group of the same filter
+    /// (large input buffer, small output buffer).
+    NextChannelGroup,
+}
+
+/// Parameters sizing the data buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferParams {
+    /// JTC input tile size `T` (waveguides).
+    pub tile: usize,
+    /// Delay-line length `M` in cycles.
+    pub delay_cycles: usize,
+    /// Wavelengths `N_λ`.
+    pub wavelengths: usize,
+    /// Optical reuse count `R`.
+    pub reuses: usize,
+    /// RFCU count.
+    pub rfcus: usize,
+    /// Maximum filters per layer `N_F` across the workload.
+    pub max_filters: usize,
+    /// Maximum channels per layer `N_C` across the workload.
+    pub max_channels: usize,
+    /// Ping-pong the buffers (doubles capacity).
+    pub ping_pong: bool,
+}
+
+impl BufferParams {
+    /// The ReFOCUS configuration for a given workload envelope.
+    pub fn refocus(max_filters: usize, max_channels: usize, reuses: usize) -> Self {
+        Self {
+            tile: 256,
+            delay_cycles: 16,
+            wavelengths: 2,
+            reuses,
+            rfcus: 16,
+            max_filters,
+            max_channels,
+            ping_pong: true,
+        }
+    }
+}
+
+/// The sized input/output data buffers (per RFCU for output; the input
+/// buffer is shared via broadcasting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataBuffers {
+    case: DataflowCase,
+    input_bytes: usize,
+    output_bytes: usize,
+    input_macro: Sram,
+    output_macro: Sram,
+}
+
+impl DataBuffers {
+    /// Sizes the buffers for `case` under `params` (8-bit data: one byte
+    /// per element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sizing parameter is zero.
+    pub fn size(case: DataflowCase, params: &BufferParams) -> Self {
+        assert!(
+            params.tile > 0
+                && params.delay_cycles > 0
+                && params.wavelengths > 0
+                && params.rfcus > 0
+                && params.max_filters > 0
+                && params.max_channels > 0,
+            "buffer parameters must be positive"
+        );
+        let pp = if params.ping_pong { 2 } else { 1 };
+        let (input_bytes, output_bytes) = match case {
+            DataflowCase::NextFilter => (
+                params.tile * params.delay_cycles * params.wavelengths * pp,
+                params.tile * params.max_filters.div_ceil(params.rfcus) * pp,
+            ),
+            DataflowCase::NextChannelGroup => (
+                params.tile * params.max_channels * params.wavelengths * pp,
+                params.tile * (params.reuses + 1) * pp,
+            ),
+        };
+        Self {
+            case,
+            input_bytes,
+            output_bytes,
+            input_macro: Sram::new(input_bytes),
+            output_macro: Sram::new(output_bytes),
+        }
+    }
+
+    /// Which dataflow case these buffers serve.
+    pub fn case(&self) -> DataflowCase {
+        self.case
+    }
+
+    /// Input buffer capacity in bytes.
+    pub fn input_bytes(&self) -> usize {
+        self.input_bytes
+    }
+
+    /// Output buffer capacity in bytes.
+    pub fn output_bytes(&self) -> usize {
+        self.output_bytes
+    }
+
+    /// SRAM macro model of the input buffer.
+    pub fn input_macro(&self) -> &Sram {
+        &self.input_macro
+    }
+
+    /// SRAM macro model of the output buffer.
+    pub fn output_macro(&self) -> &Sram {
+        &self.output_macro
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BufferParams {
+        BufferParams::refocus(512, 512, 15)
+    }
+
+    #[test]
+    fn case1_formulas() {
+        let mut p = params();
+        p.ping_pong = false;
+        let b = DataBuffers::size(DataflowCase::NextFilter, &p);
+        // B_in1 = T*M*Nλ = 256*16*2 = 8192; B_out1 = T*N_F/N_RFCU = 256*32.
+        assert_eq!(b.input_bytes(), 8192);
+        assert_eq!(b.output_bytes(), 256 * 32);
+    }
+
+    #[test]
+    fn case2_formulas() {
+        let mut p = params();
+        p.ping_pong = false;
+        let b = DataBuffers::size(DataflowCase::NextChannelGroup, &p);
+        // B_in2 = T*N_C*Nλ = 256*512*2; B_out2 = T*(R+1) = 256*16.
+        assert_eq!(b.input_bytes(), 256 * 512 * 2);
+        assert_eq!(b.output_bytes(), 256 * 16);
+    }
+
+    #[test]
+    fn ping_pong_doubles() {
+        let p = params();
+        let b = DataBuffers::size(DataflowCase::NextFilter, &p);
+        assert_eq!(b.input_bytes(), 2 * 8192);
+    }
+
+    #[test]
+    fn case1_has_smaller_input_buffer() {
+        // The §5.3.3 rationale: case 1's input buffer (hot path) is far
+        // smaller than case 2's.
+        let p = params();
+        let c1 = DataBuffers::size(DataflowCase::NextFilter, &p);
+        let c2 = DataBuffers::size(DataflowCase::NextChannelGroup, &p);
+        assert!(c1.input_bytes() < c2.input_bytes());
+        assert!(c1.output_bytes() > c2.output_bytes());
+    }
+
+    #[test]
+    fn buffer_access_cheaper_than_main_sram() {
+        // The whole point of data buffers: cheaper per-byte than the 4 MB
+        // activation SRAM.
+        let p = params();
+        let b = DataBuffers::size(DataflowCase::NextFilter, &p);
+        let main = Sram::new(4 * crate::sram::MIB);
+        assert!(b.input_macro().energy_per_byte().value() < main.energy_per_byte().value() / 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_params_rejected() {
+        let mut p = params();
+        p.tile = 0;
+        let _ = DataBuffers::size(DataflowCase::NextFilter, &p);
+    }
+}

@@ -1,0 +1,35 @@
+//! # refocus-memsim
+//!
+//! Memory-hierarchy substrate for the ReFOCUS simulator — the workspace's
+//! CACTI substitute (see DESIGN.md §2 for the substitution rationale):
+//!
+//! * [`sram`] — analytical SRAM macros with CACTI-like capacity scaling,
+//!   anchored to the paper's ">4× access energy for the 4 MB SRAM" fact.
+//! * [`dram`] — HBM2/HBM3 access energy (O'Connor et al.).
+//! * [`buffers`] — §5.3.3 data-buffer sizing for both dataflow cases.
+//! * [`hierarchy`] — traffic → energy accounting with per-level breakdown.
+//!
+//! ```
+//! use refocus_memsim::buffers::{BufferParams, DataBuffers, DataflowCase};
+//!
+//! let buffers = DataBuffers::size(
+//!     DataflowCase::NextFilter,
+//!     &BufferParams::refocus(512, 512, 15),
+//! );
+//! // ReFOCUS keeps the hot input buffer small (no bigger than the
+//! // output buffer, and far smaller than the case-2 alternative).
+//! assert!(buffers.input_bytes() <= buffers.output_bytes());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buffers;
+pub mod dram;
+pub mod hierarchy;
+pub mod sram;
+
+pub use buffers::{BufferParams, DataBuffers, DataflowCase};
+pub use dram::Dram;
+pub use hierarchy::{Hierarchy, Level, Traffic};
+pub use sram::Sram;

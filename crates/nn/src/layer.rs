@@ -1,0 +1,264 @@
+//! Layer and network descriptors.
+//!
+//! The architecture simulator consumes layer *shapes*: each convolution
+//! layer's input resolution, channel counts, kernel size, stride, and
+//! padding. [`ConvSpec`] captures one layer; [`Network`] a whole CNN. The
+//! paper benchmarks only convolution layers ("more than 99% of total
+//! computation"), so pooling shows up implicitly in the successive input
+//! resolutions and fully-connected layers are omitted.
+
+use crate::conv::conv_output_size;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One convolution layer's shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Human-readable layer name (e.g. `"conv3_2"`).
+    pub name: String,
+    /// Input channels `C_in`.
+    pub in_channels: usize,
+    /// Output channels / filter count `C_out`.
+    pub out_channels: usize,
+    /// Square kernel size `k`.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding per side.
+    pub padding: usize,
+    /// Input spatial resolution `(height, width)`.
+    pub input_hw: (usize, usize),
+}
+
+impl ConvSpec {
+    /// Creates a layer spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, the stride is zero, or the kernel does
+    /// not fit the padded input.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        input_hw: (usize, usize),
+    ) -> Self {
+        let name = name.into();
+        assert!(in_channels > 0 && out_channels > 0, "{name}: zero channels");
+        assert!(kernel > 0 && stride > 0, "{name}: zero kernel/stride");
+        assert!(
+            conv_output_size(input_hw.0, kernel, stride, padding).is_some()
+                && conv_output_size(input_hw.1, kernel, stride, padding).is_some(),
+            "{name}: kernel {kernel} does not fit input {input_hw:?} with padding {padding}"
+        );
+        Self {
+            name,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            input_hw,
+        }
+    }
+
+    /// Output spatial resolution `(height, width)`.
+    pub fn output_hw(&self) -> (usize, usize) {
+        (
+            conv_output_size(self.input_hw.0, self.kernel, self.stride, self.padding)
+                .expect("validated at construction"),
+            conv_output_size(self.input_hw.1, self.kernel, self.stride, self.padding)
+                .expect("validated at construction"),
+        )
+    }
+
+    /// Multiply-accumulate operations for this layer.
+    pub fn macs(&self) -> u64 {
+        let (oh, ow) = self.output_hw();
+        crate::conv::conv_macs(self.out_channels, self.in_channels, self.kernel, oh, ow)
+    }
+
+    /// Weight parameter count.
+    pub fn params(&self) -> u64 {
+        self.out_channels as u64 * self.in_channels as u64 * (self.kernel * self.kernel) as u64
+    }
+
+    /// Input activation element count.
+    pub fn input_elems(&self) -> u64 {
+        self.in_channels as u64 * self.input_hw.0 as u64 * self.input_hw.1 as u64
+    }
+
+    /// Output activation element count.
+    pub fn output_elems(&self) -> u64 {
+        let (oh, ow) = self.output_hw();
+        self.out_channels as u64 * oh as u64 * ow as u64
+    }
+}
+
+impl fmt::Display for ConvSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (oh, ow) = self.output_hw();
+        write!(
+            f,
+            "{}: {}x{}x{} --{}x{}/{} p{}--> {}x{}x{}",
+            self.name,
+            self.in_channels,
+            self.input_hw.0,
+            self.input_hw.1,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.padding,
+            self.out_channels,
+            oh,
+            ow
+        )
+    }
+}
+
+/// A CNN as the ordered list of its convolution layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    layers: Vec<ConvSpec>,
+}
+
+impl Network {
+    /// Builds a network from its layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<ConvSpec>) -> Self {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        Self {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Network name (e.g. `"ResNet-34"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The convolution layers in execution order.
+    pub fn layers(&self) -> &[ConvSpec] {
+        &self.layers
+    }
+
+    /// Total MACs over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvSpec::macs).sum()
+    }
+
+    /// Total weight parameters over all layers.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(ConvSpec::params).sum()
+    }
+
+    /// Largest per-layer filter count `N_F` (sizes the output buffers,
+    /// §5.3.3).
+    pub fn max_filters(&self) -> usize {
+        self.layers.iter().map(|l| l.out_channels).max().unwrap_or(0)
+    }
+
+    /// Largest per-layer channel count `N_C` (sizes case-2 input buffers,
+    /// §5.3.3).
+    pub fn max_channels(&self) -> usize {
+        self.layers.iter().map(|l| l.in_channels).max().unwrap_or(0)
+    }
+
+    /// Largest activation (input or output) in elements — must fit the
+    /// 4 MB activation SRAM (§5.2).
+    pub fn max_activation_elems(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.input_elems().max(l.output_elems()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest single-layer weight count — must fit the 512 KB weight SRAM.
+    pub fn max_layer_params(&self) -> u64 {
+        self.layers.iter().map(ConvSpec::params).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConvSpec {
+        ConvSpec::new("conv1", 3, 64, 7, 2, 3, (224, 224))
+    }
+
+    #[test]
+    fn resnet_stem_shape() {
+        let l = sample();
+        assert_eq!(l.output_hw(), (112, 112));
+        assert_eq!(l.params(), 64 * 3 * 49);
+        assert_eq!(l.macs(), 64 * 3 * 49 * 112 * 112);
+    }
+
+    #[test]
+    fn same_padding_3x3() {
+        let l = ConvSpec::new("c", 64, 64, 3, 1, 1, (56, 56));
+        assert_eq!(l.output_hw(), (56, 56));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_oversized_kernel() {
+        let _ = ConvSpec::new("bad", 1, 1, 9, 1, 0, (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero channels")]
+    fn rejects_zero_channels() {
+        let _ = ConvSpec::new("bad", 0, 1, 3, 1, 1, (8, 8));
+    }
+
+    #[test]
+    fn activation_and_param_accounting() {
+        let l = ConvSpec::new("c", 2, 4, 3, 1, 1, (8, 8));
+        assert_eq!(l.input_elems(), 2 * 64);
+        assert_eq!(l.output_elems(), 4 * 64);
+        assert_eq!(l.params(), 4 * 2 * 9);
+    }
+
+    #[test]
+    fn network_aggregates() {
+        let net = Network::new(
+            "tiny",
+            vec![
+                ConvSpec::new("a", 3, 16, 3, 1, 1, (32, 32)),
+                ConvSpec::new("b", 16, 32, 3, 1, 1, (16, 16)),
+            ],
+        );
+        assert_eq!(net.max_filters(), 32);
+        assert_eq!(net.max_channels(), 16);
+        assert_eq!(
+            net.total_macs(),
+            16 * 3 * 9 * 32 * 32 + 32 * 16 * 9 * 16 * 16
+        );
+        assert_eq!(net.max_activation_elems(), 16 * 32 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = Network::new("empty", vec![]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("conv1"));
+        assert!(s.contains("224"));
+        assert!(s.contains("112"));
+    }
+}

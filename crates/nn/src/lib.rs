@@ -1,0 +1,45 @@
+//! # refocus-nn
+//!
+//! Neural-network substrate for the ReFOCUS photonic accelerator simulator
+//! (Li et al., MICRO 2023):
+//!
+//! * [`tensor`] / [`conv`] — dense CHW/OIHW tensors and the digital
+//!   reference convolution every optical path is validated against.
+//! * [`layer`] / [`models`] — layer-shape calculus and the paper's workload
+//!   zoo (AlexNet, VGG-16, ResNet-18/34/50).
+//! * [`quant`] — 8-bit quantization and pseudo-negative filter splitting
+//!   (the JTC only carries positive values).
+//! * [`tiling`] — the §2.2 row-tiling algorithm mapping 2-D convolutions
+//!   onto a 1-D JTC, in both performance-plan and functional forms.
+//! * [`weight_sharing`] — kernel-clustering compression (§7.3, ~4.5×).
+//! * [`reorder`] — simulated-annealing channel reordering to minimize
+//!   weight-DAC loads (§7.3).
+//!
+//! ## Example: plan a layer on a 256-waveguide JTC
+//!
+//! ```
+//! use refocus_nn::tiling::{TilingMode, TilingPlan};
+//!
+//! // The paper's §2.2 example: 32x32 input, 3x3 kernel.
+//! let plan = TilingPlan::plan((32, 32), 3, 1, 1, 256, TilingMode::Approximate)?;
+//! assert_eq!(plan.passes, 6);
+//! assert_eq!(plan.total_conversions(), 1590);
+//! # Ok::<(), refocus_nn::tiling::TilingError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conv;
+pub mod layer;
+pub mod models;
+pub mod pool;
+pub mod quant;
+pub mod reorder;
+pub mod tensor;
+pub mod tiling;
+pub mod weight_sharing;
+
+pub use layer::{ConvSpec, Network};
+pub use tensor::{Tensor3, Tensor4};
+pub use tiling::{TilingMode, TilingPlan};

@@ -1,0 +1,308 @@
+//! The paper's CNN workload zoo.
+//!
+//! ReFOCUS is evaluated on five ImageNet CNNs — AlexNet, VGG-16, and
+//! ResNet-18/34/50 (§6) — with design-space exploration using the latter
+//! four (Table 4). Layer tables follow the canonical (torchvision-style)
+//! architectures at 224×224 input; only convolution layers appear, since
+//! the paper benchmarks only those (>99% of compute).
+
+use crate::layer::{ConvSpec, Network};
+
+/// AlexNet's five convolution layers (Krizhevsky et al. \[27\]).
+pub fn alexnet() -> Network {
+    Network::new(
+        "AlexNet",
+        vec![
+            ConvSpec::new("conv1", 3, 64, 11, 4, 2, (224, 224)),
+            ConvSpec::new("conv2", 64, 192, 5, 1, 2, (27, 27)),
+            ConvSpec::new("conv3", 192, 384, 3, 1, 1, (13, 13)),
+            ConvSpec::new("conv4", 384, 256, 3, 1, 1, (13, 13)),
+            ConvSpec::new("conv5", 256, 256, 3, 1, 1, (13, 13)),
+        ],
+    )
+}
+
+/// VGG-16's thirteen 3×3 convolution layers (Simonyan & Zisserman \[54\]).
+pub fn vgg16() -> Network {
+    let mut layers = Vec::new();
+    let blocks: [(usize, usize, usize); 5] = [
+        // (convs in block, out channels, input resolution)
+        (2, 64, 224),
+        (2, 128, 112),
+        (3, 256, 56),
+        (3, 512, 28),
+        (3, 512, 14),
+    ];
+    let mut in_ch = 3;
+    for (b, (convs, out_ch, res)) in blocks.iter().enumerate() {
+        for c in 0..*convs {
+            layers.push(ConvSpec::new(
+                format!("conv{}_{}", b + 1, c + 1),
+                in_ch,
+                *out_ch,
+                3,
+                1,
+                1,
+                (*res, *res),
+            ));
+            in_ch = *out_ch;
+        }
+    }
+    Network::new("VGG-16", layers)
+}
+
+/// Builds a basic-block ResNet (18/34 style) from per-stage block counts.
+fn resnet_basic(name: &str, blocks: [usize; 4]) -> Network {
+    let mut layers = vec![ConvSpec::new("conv1", 3, 64, 7, 2, 3, (224, 224))];
+    // After the stem's max-pool: 56x56, 64 channels.
+    let stage_channels = [64usize, 128, 256, 512];
+    let stage_res = [56usize, 28, 14, 7];
+    let mut in_ch = 64;
+    for (s, &n_blocks) in blocks.iter().enumerate() {
+        let out_ch = stage_channels[s];
+        let res = stage_res[s];
+        for b in 0..n_blocks {
+            let downsample = s > 0 && b == 0;
+            let (stride, in_res) = if downsample { (2, res * 2) } else { (1, res) };
+            layers.push(ConvSpec::new(
+                format!("layer{}.{}.conv1", s + 1, b),
+                in_ch,
+                out_ch,
+                3,
+                stride,
+                1,
+                (in_res, in_res),
+            ));
+            layers.push(ConvSpec::new(
+                format!("layer{}.{}.conv2", s + 1, b),
+                out_ch,
+                out_ch,
+                3,
+                1,
+                1,
+                (res, res),
+            ));
+            if downsample {
+                layers.push(ConvSpec::new(
+                    format!("layer{}.{}.downsample", s + 1, b),
+                    in_ch,
+                    out_ch,
+                    1,
+                    2,
+                    0,
+                    (in_res, in_res),
+                ));
+            }
+            in_ch = out_ch;
+        }
+    }
+    Network::new(name, layers)
+}
+
+/// Builds a bottleneck-block ResNet (50 style) from per-stage block counts.
+fn resnet_bottleneck(name: &str, blocks: [usize; 4]) -> Network {
+    let mut layers = vec![ConvSpec::new("conv1", 3, 64, 7, 2, 3, (224, 224))];
+    let stage_mid = [64usize, 128, 256, 512];
+    let stage_res = [56usize, 28, 14, 7];
+    let expansion = 4;
+    let mut in_ch = 64;
+    for (s, &n_blocks) in blocks.iter().enumerate() {
+        let mid = stage_mid[s];
+        let out_ch = mid * expansion;
+        let res = stage_res[s];
+        for b in 0..n_blocks {
+            let first = b == 0;
+            // The 3x3 of the first block in stages 2-4 strides; stage 1's
+            // first block keeps stride 1 but still projects channels.
+            let (stride, in_res) = if first && s > 0 { (2, res * 2) } else { (1, res) };
+            layers.push(ConvSpec::new(
+                format!("layer{}.{}.conv1", s + 1, b),
+                in_ch,
+                mid,
+                1,
+                1,
+                0,
+                (in_res, in_res),
+            ));
+            layers.push(ConvSpec::new(
+                format!("layer{}.{}.conv2", s + 1, b),
+                mid,
+                mid,
+                3,
+                stride,
+                1,
+                (in_res, in_res),
+            ));
+            layers.push(ConvSpec::new(
+                format!("layer{}.{}.conv3", s + 1, b),
+                mid,
+                out_ch,
+                1,
+                1,
+                0,
+                (res, res),
+            ));
+            if first {
+                layers.push(ConvSpec::new(
+                    format!("layer{}.{}.downsample", s + 1, b),
+                    in_ch,
+                    out_ch,
+                    1,
+                    stride,
+                    0,
+                    (in_res, in_res),
+                ));
+            }
+            in_ch = out_ch;
+        }
+    }
+    Network::new(name, layers)
+}
+
+/// ResNet-18 (He et al. \[23\]): basic blocks, [2, 2, 2, 2].
+pub fn resnet18() -> Network {
+    resnet_basic("ResNet-18", [2, 2, 2, 2])
+}
+
+/// ResNet-34: basic blocks, [3, 4, 6, 3].
+pub fn resnet34() -> Network {
+    resnet_basic("ResNet-34", [3, 4, 6, 3])
+}
+
+/// ResNet-50: bottleneck blocks, [3, 4, 6, 3].
+pub fn resnet50() -> Network {
+    resnet_bottleneck("ResNet-50", [3, 4, 6, 3])
+}
+
+/// The five networks of the paper's §6 power/throughput evaluation.
+pub fn evaluation_suite() -> Vec<Network> {
+    vec![alexnet(), vgg16(), resnet18(), resnet34(), resnet50()]
+}
+
+/// The four networks used for design-space exploration (Table 4).
+pub fn dse_suite() -> Vec<Network> {
+    vec![vgg16(), resnet18(), resnet34(), resnet50()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_macs_near_published() {
+        // Published conv-only MACs for torchvision AlexNet: ~0.66 GMACs.
+        let g = alexnet().total_macs() as f64 / 1e9;
+        assert!((0.6..0.72).contains(&g), "AlexNet GMACs = {g}");
+    }
+
+    #[test]
+    fn vgg16_macs_near_published() {
+        // VGG-16 conv MACs ~15.3 GMACs.
+        let g = vgg16().total_macs() as f64 / 1e9;
+        assert!((14.5..16.0).contains(&g), "VGG-16 GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet18_macs_near_published() {
+        // ResNet-18 total ~1.8 GMACs, convs dominate.
+        let g = resnet18().total_macs() as f64 / 1e9;
+        assert!((1.6..1.9).contains(&g), "ResNet-18 GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet34_macs_near_published() {
+        let g = resnet34().total_macs() as f64 / 1e9;
+        assert!((3.3..3.7).contains(&g), "ResNet-34 GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet50_macs_near_published() {
+        let g = resnet50().total_macs() as f64 / 1e9;
+        assert!((3.7..4.2).contains(&g), "ResNet-50 GMACs = {g}");
+    }
+
+    #[test]
+    fn vgg16_has_thirteen_convs() {
+        assert_eq!(vgg16().layers().len(), 13);
+    }
+
+    #[test]
+    fn resnet_layer_counts() {
+        // 18: stem + 2*(2+2+2+2) convs + 3 downsamples = 20 convs... with
+        // downsample projections: 1 + 16 + 3 = 20.
+        assert_eq!(resnet18().layers().len(), 20);
+        // 34: 1 + 2*16 + 3 = 36.
+        assert_eq!(resnet34().layers().len(), 36);
+        // 50: 1 + 3*16 + 4 = 53.
+        assert_eq!(resnet50().layers().len(), 53);
+    }
+
+    #[test]
+    fn shapes_chain_consistently() {
+        // Each ResNet basic-block conv2's input resolution must equal its
+        // conv1's output resolution.
+        for net in [resnet18(), resnet34()] {
+            let layers = net.layers();
+            for pair in layers.windows(2) {
+                if pair[0].name.ends_with("conv1") && pair[1].name.ends_with("conv2") {
+                    assert_eq!(
+                        pair[0].output_hw(),
+                        pair[1].input_hw,
+                        "{}: {} -> {}",
+                        net.name(),
+                        pair[0].name,
+                        pair[1].name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resnet34_has_many_small_layers() {
+        // §4.1.3: ResNet-34 has 18 layers whose whole input activation fits
+        // a 256-waveguide JTC (H*W + padding <= a few rows). Check that a
+        // majority of its layers run at 14x14 or smaller.
+        let small = resnet34()
+            .layers()
+            .iter()
+            .filter(|l| l.input_hw.0 <= 14)
+            .count();
+        assert!(small >= 16, "only {small} small layers");
+    }
+
+    #[test]
+    fn weight_srams_fit_paper_sizes() {
+        // §5.2: the 512 KB weight SRAM holds a layer of weights for "common
+        // CNNs" at 8-bit. True for every ResNet-18/34 layer.
+        for net in [resnet18(), resnet34()] {
+            assert!(
+                net.max_layer_params() <= 512 * 1024 * 5,
+                "{} max layer params {}",
+                net.name(),
+                net.max_layer_params()
+            );
+        }
+    }
+
+    #[test]
+    fn activations_fit_activation_sram() {
+        // §5.2: the 4 MB activation SRAM holds the entire activation of
+        // common CNNs (at 8-bit) — true for ResNets past the stem; the
+        // very largest early VGG activations exceed it and stream instead.
+        assert!(resnet34().max_activation_elems() <= 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn suites_have_expected_members() {
+        let names: Vec<String> = evaluation_suite()
+            .iter()
+            .map(|n| n.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["AlexNet", "VGG-16", "ResNet-18", "ResNet-34", "ResNet-50"]
+        );
+        assert_eq!(dse_suite().len(), 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Pooling layers.
+//!
+//! CNNs interleave convolutions with pooling; the architecture simulator
+//! only times convolutions (pooling is >100× cheaper and runs on the CMOS
+//! CCUs), but the *functional* forward path needs real pooling to chain
+//! layers at the right resolutions.
+
+use crate::tensor::Tensor3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pooling operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Arithmetic mean over the window.
+    Average,
+}
+
+/// Errors from pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// Window larger than the input.
+    WindowTooLarge {
+        /// Input spatial size.
+        input: (usize, usize),
+        /// Window size.
+        window: usize,
+    },
+    /// Zero window or stride.
+    ZeroParameter,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::WindowTooLarge { input, window } => {
+                write!(f, "{window}x{window} window exceeds {}x{} input", input.0, input.1)
+            }
+            PoolError::ZeroParameter => write!(f, "window and stride must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Applies 2-D pooling with a square `window` and `stride`.
+///
+/// # Errors
+///
+/// Returns [`PoolError`] when parameters are zero or the window does not
+/// fit.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_nn::pool::{pool2d, PoolKind};
+/// use refocus_nn::tensor::Tensor3;
+///
+/// let t = Tensor3::from_data(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+/// let p = pool2d(&t, PoolKind::Max, 2, 2)?;
+/// assert_eq!(p.get(0, 0, 0), 4.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn pool2d(
+    input: &Tensor3,
+    kind: PoolKind,
+    window: usize,
+    stride: usize,
+) -> Result<Tensor3, PoolError> {
+    if window == 0 || stride == 0 {
+        return Err(PoolError::ZeroParameter);
+    }
+    let (c, h, w) = input.shape();
+    if window > h || window > w {
+        return Err(PoolError::WindowTooLarge {
+            input: (h, w),
+            window,
+        });
+    }
+    let out_h = (h - window) / stride + 1;
+    let out_w = (w - window) / stride + 1;
+    let mut out = Tensor3::zeros(c, out_h, out_w);
+    for ch in 0..c {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc = match kind {
+                    PoolKind::Max => f64::NEG_INFINITY,
+                    PoolKind::Average => 0.0,
+                };
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let v = input.get(ch, oy * stride + ky, ox * stride + kx);
+                        match kind {
+                            PoolKind::Max => acc = acc.max(v),
+                            PoolKind::Average => acc += v,
+                        }
+                    }
+                }
+                if kind == PoolKind::Average {
+                    acc /= (window * window) as f64;
+                }
+                out.set(ch, oy, ox, acc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: one value per channel.
+pub fn global_average_pool(input: &Tensor3) -> Vec<f64> {
+    let (c, h, w) = input.shape();
+    (0..c)
+        .map(|ch| {
+            let mut sum = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    sum += input.get(ch, y, x);
+                }
+            }
+            sum / (h * w) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor3 {
+        Tensor3::from_data(
+            1,
+            4,
+            4,
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn max_pool_2x2_stride2() {
+        let p = pool2d(&sample(), PoolKind::Max, 2, 2).unwrap();
+        assert_eq!(p.shape(), (1, 2, 2));
+        assert_eq!(p.get(0, 0, 0), 6.0);
+        assert_eq!(p.get(0, 0, 1), 8.0);
+        assert_eq!(p.get(0, 1, 0), 14.0);
+        assert_eq!(p.get(0, 1, 1), 16.0);
+    }
+
+    #[test]
+    fn avg_pool_2x2_stride2() {
+        let p = pool2d(&sample(), PoolKind::Average, 2, 2).unwrap();
+        assert_eq!(p.get(0, 0, 0), 3.5);
+        assert_eq!(p.get(0, 1, 1), 13.5);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let p = pool2d(&sample(), PoolKind::Max, 3, 1).unwrap();
+        assert_eq!(p.shape(), (1, 2, 2));
+        assert_eq!(p.get(0, 0, 0), 11.0);
+        assert_eq!(p.get(0, 1, 1), 16.0);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let mut t = Tensor3::zeros(2, 2, 2);
+        t.set(0, 0, 0, 5.0);
+        t.set(1, 1, 1, -3.0);
+        let p = pool2d(&t, PoolKind::Max, 2, 2).unwrap();
+        assert_eq!(p.get(0, 0, 0), 5.0);
+        assert_eq!(p.get(1, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn max_pool_handles_negatives() {
+        let t = Tensor3::from_data(1, 2, 2, vec![-4.0, -2.0, -8.0, -6.0]).unwrap();
+        let p = pool2d(&t, PoolKind::Max, 2, 2).unwrap();
+        assert_eq!(p.get(0, 0, 0), -2.0);
+    }
+
+    #[test]
+    fn global_average() {
+        let g = global_average_pool(&sample());
+        assert_eq!(g, vec![8.5]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            pool2d(&sample(), PoolKind::Max, 5, 1),
+            Err(PoolError::WindowTooLarge {
+                input: (4, 4),
+                window: 5
+            })
+        );
+        assert_eq!(
+            pool2d(&sample(), PoolKind::Max, 0, 1),
+            Err(PoolError::ZeroParameter)
+        );
+        assert!(PoolError::ZeroParameter.to_string().contains("positive"));
+    }
+}

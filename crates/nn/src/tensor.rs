@@ -1,0 +1,499 @@
+//! Minimal dense tensors for functional CNN execution.
+//!
+//! The simulator's performance models only need layer *shapes*, but the
+//! functional validation path (running real numbers through the optical JTC
+//! model) needs actual data. [`Tensor3`] is a CHW activation tensor and
+//! [`Tensor4`] an OIHW weight tensor — just enough structure, no autograd.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors constructing tensors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data length does not match the product of the dimensions.
+    ShapeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// A dimension was zero.
+    ZeroDimension,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+            TensorError::ZeroDimension => write!(f, "tensor dimensions must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// A dense `(channels, height, width)` tensor of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_nn::tensor::Tensor3;
+///
+/// let mut t = Tensor3::zeros(2, 3, 4);
+/// t.set(1, 2, 3, 7.0);
+/// assert_eq!(t.get(1, 2, 3), 7.0);
+/// assert_eq!(t.shape(), (2, 3, 4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor3 {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor3 {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be positive"
+        );
+        Self {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// Creates a tensor from existing CHW-ordered data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if dimensions are zero or the data length
+    /// mismatches.
+    pub fn from_data(
+        channels: usize,
+        height: usize,
+        width: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, TensorError> {
+        if channels == 0 || height == 0 || width == 0 {
+            return Err(TensorError::ZeroDimension);
+        }
+        let expected = channels * height * width;
+        if data.len() != expected {
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(Self {
+            channels,
+            height,
+            width,
+            data,
+        })
+    }
+
+    /// Fills a tensor with seeded uniform values in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `lo >= hi`.
+    pub fn random(channels: usize, height: usize, width: usize, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(lo < hi, "invalid range [{lo}, {hi})");
+        let mut t = Self::zeros(channels, height, width);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in t.data.iter_mut() {
+            *v = lo + (hi - lo) * rng.random::<f64>();
+        }
+        t
+    }
+
+    /// `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false`: zero dimensions are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Reads one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f64 {
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Writes one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, value: f64) {
+        let i = self.index(c, y, x);
+        self.data[i] = value;
+    }
+
+    /// Reads with zero padding: out-of-range coordinates return 0. Signed
+    /// coordinates allow the caller to index the padded halo directly.
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> f64 {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            0.0
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    /// One channel as a row-major `height × width` slice of rows.
+    pub fn channel_rows(&self, c: usize) -> Vec<&[f64]> {
+        (0..self.height)
+            .map(|y| {
+                let start = self.index(c, y, 0);
+                &self.data[start..start + self.width]
+            })
+            .collect()
+    }
+
+    /// Flat CHW data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat CHW data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Applies `f` to every element.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in self.data.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self) {
+        self.map_inplace(|v| v.max(0.0));
+    }
+
+    /// Maximum absolute element (0 for an all-zero tensor).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Returns a zero-padded copy with `pad` extra rows/cols on each side.
+    pub fn pad_spatial(&self, pad: usize) -> Tensor3 {
+        if pad == 0 {
+            return self.clone();
+        }
+        let mut out = Tensor3::zeros(self.channels, self.height + 2 * pad, self.width + 2 * pad);
+        for c in 0..self.channels {
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    out.set(c, y + pad, x + pad, self.get(c, y, x));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A dense `(out_channels, in_channels, kernel_h, kernel_w)` weight tensor.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_nn::tensor::Tensor4;
+///
+/// let w = Tensor4::random(8, 3, 3, 3, -1.0, 1.0, 7);
+/// assert_eq!(w.shape(), (8, 3, 3, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    out_channels: usize,
+    in_channels: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor4 {
+    /// Creates a zero-filled weight tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(out_channels: usize, in_channels: usize, kernel_h: usize, kernel_w: usize) -> Self {
+        assert!(
+            out_channels > 0 && in_channels > 0 && kernel_h > 0 && kernel_w > 0,
+            "tensor dimensions must be positive"
+        );
+        Self {
+            out_channels,
+            in_channels,
+            kernel_h,
+            kernel_w,
+            data: vec![0.0; out_channels * in_channels * kernel_h * kernel_w],
+        }
+    }
+
+    /// Fills a weight tensor with seeded uniform values in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `lo >= hi`.
+    pub fn random(
+        out_channels: usize,
+        in_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(lo < hi, "invalid range [{lo}, {hi})");
+        let mut t = Self::zeros(out_channels, in_channels, kernel_h, kernel_w);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in t.data.iter_mut() {
+            *v = lo + (hi - lo) * rng.random::<f64>();
+        }
+        t
+    }
+
+    /// `(out_channels, in_channels, kernel_h, kernel_w)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (self.out_channels, self.in_channels, self.kernel_h, self.kernel_w)
+    }
+
+    /// Number of filters.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Channels per filter.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Kernel height.
+    pub fn kernel_h(&self) -> usize {
+        self.kernel_h
+    }
+
+    /// Kernel width.
+    pub fn kernel_w(&self) -> usize {
+        self.kernel_w
+    }
+
+    fn index(&self, o: usize, i: usize, y: usize, x: usize) -> usize {
+        debug_assert!(
+            o < self.out_channels && i < self.in_channels && y < self.kernel_h && x < self.kernel_w
+        );
+        ((o * self.in_channels + i) * self.kernel_h + y) * self.kernel_w + x
+    }
+
+    /// Reads one weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    pub fn get(&self, o: usize, i: usize, y: usize, x: usize) -> f64 {
+        self.data[self.index(o, i, y, x)]
+    }
+
+    /// Writes one weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    pub fn set(&mut self, o: usize, i: usize, y: usize, x: usize, value: f64) {
+        let idx = self.index(o, i, y, x);
+        self.data[idx] = value;
+    }
+
+    /// One `kernel_h × kernel_w` kernel as row vectors.
+    pub fn kernel(&self, o: usize, i: usize) -> Vec<Vec<f64>> {
+        (0..self.kernel_h)
+            .map(|y| (0..self.kernel_w).map(|x| self.get(o, i, y, x)).collect())
+            .collect()
+    }
+
+    /// One kernel flattened row-major.
+    pub fn kernel_flat(&self, o: usize, i: usize) -> Vec<f64> {
+        let start = self.index(o, i, 0, 0);
+        self.data[start..start + self.kernel_h * self.kernel_w].to_vec()
+    }
+
+    /// Flat OIHW data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Applies `f` to every weight.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in self.data.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Maximum absolute weight.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut t = Tensor3::zeros(2, 3, 4);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.get(1, 2, 3), 0.0);
+        t.set(0, 0, 0, 1.0);
+        t.set(1, 2, 3, -2.0);
+        assert_eq!(t.get(0, 0, 0), 1.0);
+        assert_eq!(t.get(1, 2, 3), -2.0);
+        // Distinct cells don't alias.
+        assert_eq!(t.get(1, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn from_data_validates_shape() {
+        assert!(Tensor3::from_data(1, 2, 2, vec![1.0; 4]).is_ok());
+        assert_eq!(
+            Tensor3::from_data(1, 2, 2, vec![1.0; 5]),
+            Err(TensorError::ShapeMismatch {
+                expected: 4,
+                got: 5
+            })
+        );
+        assert_eq!(
+            Tensor3::from_data(0, 2, 2, vec![]),
+            Err(TensorError::ZeroDimension)
+        );
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let a = Tensor3::random(2, 4, 4, -1.0, 1.0, 42);
+        let b = Tensor3::random(2, 4, 4, -1.0, 1.0, 42);
+        let c = Tensor3::random(2, 4, 4, -1.0, 1.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for &v in a.data() {
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn padded_reads_return_zero_outside() {
+        let t = Tensor3::random(1, 2, 2, 0.5, 1.0, 1);
+        assert_eq!(t.get_padded(0, -1, 0), 0.0);
+        assert_eq!(t.get_padded(0, 0, 2), 0.0);
+        assert_eq!(t.get_padded(0, 1, 1), t.get(0, 1, 1));
+    }
+
+    #[test]
+    fn pad_spatial_places_interior() {
+        let t = Tensor3::random(1, 2, 3, 0.0, 1.0, 5);
+        let p = t.pad_spatial(2);
+        assert_eq!(p.shape(), (1, 6, 7));
+        assert_eq!(p.get(0, 0, 0), 0.0);
+        assert_eq!(p.get(0, 2, 2), t.get(0, 0, 0));
+        assert_eq!(p.get(0, 3, 4), t.get(0, 1, 2));
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut t = Tensor3::from_data(1, 1, 3, vec![-1.0, 0.0, 2.0]).unwrap();
+        t.relu();
+        assert_eq!(t.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn channel_rows_view() {
+        let t = Tensor3::from_data(2, 2, 2, (0..8).map(|v| v as f64).collect()).unwrap();
+        let rows = t.channel_rows(1);
+        assert_eq!(rows[0], &[4.0, 5.0]);
+        assert_eq!(rows[1], &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn tensor4_kernel_extraction() {
+        let mut w = Tensor4::zeros(2, 2, 2, 2);
+        w.set(1, 0, 0, 1, 5.0);
+        w.set(1, 0, 1, 0, -3.0);
+        let k = w.kernel(1, 0);
+        assert_eq!(k, vec![vec![0.0, 5.0], vec![-3.0, 0.0]]);
+        assert_eq!(w.kernel_flat(1, 0), vec![0.0, 5.0, -3.0, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_values() {
+        let t = Tensor3::from_data(1, 1, 3, vec![-4.0, 2.0, 3.0]).unwrap();
+        assert_eq!(t.max_abs(), 4.0);
+        let mut w = Tensor4::zeros(1, 1, 1, 2);
+        w.set(0, 0, 0, 0, -7.5);
+        assert_eq!(w.max_abs(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zeros_rejects_zero_dims() {
+        let _ = Tensor3::zeros(0, 1, 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TensorError::ZeroDimension.to_string().contains("positive"));
+        assert!(TensorError::ShapeMismatch {
+            expected: 4,
+            got: 5
+        }
+        .to_string()
+        .contains("4"));
+    }
+}

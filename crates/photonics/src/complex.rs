@@ -1,0 +1,324 @@
+//! Complex arithmetic for optical field simulation.
+//!
+//! A coherent optical field at a point is a complex amplitude: its squared
+//! magnitude is the optical intensity a photodetector sees, and its argument
+//! is the optical phase. The JTC model in [`crate::jtc`] manipulates arrays of
+//! these values. Implemented from scratch to keep the dependency set minimal.
+//!
+//! # Examples
+//!
+//! ```
+//! use refocus_photonics::complex::Complex64;
+//!
+//! let e = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+//! assert!((e.re).abs() < 1e-12);
+//! assert!((e.im - 2.0).abs() < 1e-12);
+//! assert!((e.norm_sqr() - 4.0).abs() < 1e-12);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r * e^(i*theta)`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Euler's formula: `e^(i*theta)`.
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// The squared magnitude `re^2 + im^2`.
+    ///
+    /// For an optical field this is the *intensity* — what a square-law
+    /// photodetector (or the JTC's Fourier-plane nonlinearity) measures.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The argument (phase) in radians, in `(-pi, pi]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplication by a real scalar.
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// Returns values containing infinities/NaN when `self` is zero, matching
+    /// IEEE-754 division semantics.
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Returns `true` if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, v| acc + v)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, -Complex64::ONE));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(2.5, -1.5);
+        let b = Complex64::new(-0.5, 3.0);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        // a * conj(a) = |a|^2
+        let prod = a * a.conj();
+        assert!((prod.re - 25.0).abs() < 1e-12);
+        assert!(prod.im.abs() < 1e-12);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let a = Complex64::from_polar(2.0, 0.7);
+        assert!((a.norm() - 2.0).abs() < 1e-12);
+        assert!((a.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_quarter_turn() {
+        let q = Complex64::cis(PI / 2.0);
+        assert!(close(q, Complex64::I));
+        // Four quarter turns return to 1.
+        let full = q * q * q * q;
+        assert!(close(full, Complex64::ONE));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn inv_of_i() {
+        assert!(close(Complex64::I.inv(), -Complex64::I));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Complex64::new(1.0, 1.0);
+        a += Complex64::ONE;
+        assert_eq!(a, Complex64::new(2.0, 1.0));
+        a -= Complex64::I;
+        assert_eq!(a, Complex64::new(2.0, 0.0));
+        a *= Complex64::I;
+        assert_eq!(a, Complex64::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Complex64::new(1.0, -2.0);
+        assert_eq!(a * 2.0, Complex64::new(2.0, -4.0));
+        assert_eq!(2.0 * a, Complex64::new(2.0, -4.0));
+        assert_eq!(a / 2.0, Complex64::new(0.5, -1.0));
+    }
+}

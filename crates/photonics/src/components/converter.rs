@@ -1,0 +1,318 @@
+//! Data converter (ADC/DAC) models.
+//!
+//! Conversions between the digital and optical domains dominate the power of
+//! photonic accelerators (>85% for a single naive JTC, Fig. 3a); every
+//! ReFOCUS optimization exists to amortize them. The paper takes published
+//! 8-bit 14/16 nm converters and *linearly* scales power down to the target
+//! frequency (a conservative choice it calls out in §6):
+//!
+//! * DAC: 14 GS/s switched-capacitor DAC \[7\] → 35.71 mW at 10 GHz.
+//! * ADC: 10 GS/s time-domain ADC \[35\] → 0.93 mW at 625 MHz (the ADC only
+//!   reads out every 16th cycle thanks to temporal accumulation).
+//!
+//! Behaviourally, converters quantize: the functional JTC path uses
+//! [`Dac::quantize`]/[`Adc::sample`] so end-to-end numerics include 8-bit
+//! effects.
+
+use crate::units::{GigaHertz, MilliWatts};
+use serde::{Deserialize, Serialize};
+
+/// Linearly rescales a published converter power to a new clock.
+fn scale_power(base: MilliWatts, base_clock: GigaHertz, clock: GigaHertz) -> MilliWatts {
+    assert!(
+        clock.value() > 0.0 && base_clock.value() > 0.0,
+        "clocks must be positive"
+    );
+    base * (clock.value() / base_clock.value())
+}
+
+/// An 8-bit digital-to-analog converter driving an optical modulator.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_photonics::components::Dac;
+///
+/// let dac = Dac::new();
+/// assert!((dac.power().value() - 35.71).abs() < 1e-9);
+/// // 50% duty cycle (e.g. inputs reused once): half the average power.
+/// assert!((dac.average_power(0.5).value() - 17.855).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dac {
+    power: MilliWatts,
+    clock: GigaHertz,
+    bits: u8,
+}
+
+impl Dac {
+    /// Table 6 power at the ReFOCUS clock.
+    pub const DEFAULT_POWER: MilliWatts = MilliWatts::new(35.71);
+    /// ReFOCUS system clock.
+    pub const DEFAULT_CLOCK: GigaHertz = GigaHertz::new(10.0);
+    /// ReFOCUS precision.
+    pub const DEFAULT_BITS: u8 = 8;
+
+    /// Creates the paper's default 8-bit, 10 GHz, 35.71 mW DAC.
+    pub fn new() -> Self {
+        Self {
+            power: Self::DEFAULT_POWER,
+            clock: Self::DEFAULT_CLOCK,
+            bits: Self::DEFAULT_BITS,
+        }
+    }
+
+    /// Creates a DAC running at `clock`, power-scaled linearly from the
+    /// 10 GHz reference point.
+    pub fn at_clock(clock: GigaHertz) -> Self {
+        Self {
+            power: scale_power(Self::DEFAULT_POWER, Self::DEFAULT_CLOCK, clock),
+            clock,
+            bits: Self::DEFAULT_BITS,
+        }
+    }
+
+    /// Full-rate power draw.
+    pub fn power(&self) -> MilliWatts {
+        self.power
+    }
+
+    /// Operating clock.
+    pub fn clock(&self) -> GigaHertz {
+        self.clock
+    }
+
+    /// Converter resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of output levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Average power at a given activity `duty` in `[0, 1]` — the key lever
+    /// of optical reuse: a DAC that is off while buffered light is replayed
+    /// draws (ideally) nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]`.
+    pub fn average_power(&self, duty: f64) -> MilliWatts {
+        assert!(
+            (0.0..=1.0).contains(&duty),
+            "duty cycle must be in [0,1], got {duty}"
+        );
+        self.power * duty
+    }
+
+    /// Quantizes a normalized value in `[0, 1]` to the DAC grid and returns
+    /// the analog level actually produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[0, 1]`.
+    pub fn quantize(&self, value: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&value),
+            "DAC input must be normalized to [0,1], got {value}"
+        );
+        let max = (self.levels() - 1) as f64;
+        (value * max).round() / max
+    }
+}
+
+impl Default for Dac {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An 8-bit analog-to-digital converter reading a photodetector.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_photonics::components::Adc;
+///
+/// let adc = Adc::new();
+/// assert!((adc.power().value() - 0.93).abs() < 1e-9);
+/// let code = adc.sample(0.5, 1.0);
+/// assert_eq!(code, 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    power: MilliWatts,
+    clock: GigaHertz,
+    bits: u8,
+}
+
+impl Adc {
+    /// Table 6 power at the temporally-accumulated readout clock.
+    pub const DEFAULT_POWER: MilliWatts = MilliWatts::new(0.93);
+    /// ReFOCUS ADC readout clock: 10 GHz / 16-cycle temporal accumulation.
+    pub const DEFAULT_CLOCK: GigaHertz = GigaHertz::new(0.625);
+    /// ReFOCUS precision.
+    pub const DEFAULT_BITS: u8 = 8;
+
+    /// Creates the paper's default 8-bit, 625 MHz, 0.93 mW ADC.
+    pub fn new() -> Self {
+        Self {
+            power: Self::DEFAULT_POWER,
+            clock: Self::DEFAULT_CLOCK,
+            bits: Self::DEFAULT_BITS,
+        }
+    }
+
+    /// Creates an ADC running at `clock`, power-scaled linearly from the
+    /// 625 MHz reference point.
+    pub fn at_clock(clock: GigaHertz) -> Self {
+        Self {
+            power: scale_power(Self::DEFAULT_POWER, Self::DEFAULT_CLOCK, clock),
+            clock,
+            bits: Self::DEFAULT_BITS,
+        }
+    }
+
+    /// Full-rate power draw.
+    pub fn power(&self) -> MilliWatts {
+        self.power
+    }
+
+    /// Operating clock.
+    pub fn clock(&self) -> GigaHertz {
+        self.clock
+    }
+
+    /// Converter resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of quantization levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Average power at activity `duty` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]`.
+    pub fn average_power(&self, duty: f64) -> MilliWatts {
+        assert!(
+            (0.0..=1.0).contains(&duty),
+            "duty cycle must be in [0,1], got {duty}"
+        );
+        self.power * duty
+    }
+
+    /// Samples an analog value against `full_scale`, returning the digital
+    /// code. Values above full scale clip to the maximum code; negative
+    /// values clip to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_scale` is not positive.
+    pub fn sample(&self, value: f64, full_scale: f64) -> u32 {
+        assert!(full_scale > 0.0, "full scale must be positive");
+        let max = (self.levels() - 1) as f64;
+        let normalized = (value / full_scale).clamp(0.0, 1.0);
+        (normalized * max).round() as u32
+    }
+
+    /// Reconstructs the analog value a digital `code` represents.
+    pub fn reconstruct(&self, code: u32, full_scale: f64) -> f64 {
+        let max = (self.levels() - 1) as f64;
+        (code.min(self.levels() - 1) as f64 / max) * full_scale
+    }
+}
+
+impl Default for Adc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table6() {
+        assert_eq!(Dac::new().power().value(), 35.71);
+        assert_eq!(Adc::new().power().value(), 0.93);
+        assert_eq!(Dac::new().bits(), 8);
+        assert_eq!(Adc::new().levels(), 256);
+    }
+
+    #[test]
+    fn linear_frequency_scaling() {
+        // [7] reports the DAC at 14 GS/s; scaling back up from our 10 GHz
+        // anchor should recover 1.4x the power.
+        let dac = Dac::at_clock(GigaHertz::new(14.0));
+        assert!((dac.power().value() - 35.71 * 1.4).abs() < 1e-9);
+        // ADC at 10 GS/s (the published rate) = 16x the 625 MHz power.
+        let adc = Adc::at_clock(GigaHertz::new(10.0));
+        assert!((adc.power().value() - 0.93 * 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle_reduces_average_power() {
+        let dac = Dac::new();
+        assert_eq!(dac.average_power(0.0).value(), 0.0);
+        assert_eq!(dac.average_power(1.0), dac.power());
+        // FB buffer with R = 15: DACs active 1/16 of the time.
+        let avg = dac.average_power(1.0 / 16.0);
+        assert!((avg.value() - 35.71 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle must be in [0,1]")]
+    fn rejects_invalid_duty() {
+        let _ = Dac::new().average_power(1.01);
+    }
+
+    #[test]
+    fn dac_quantization_grid() {
+        let dac = Dac::new();
+        assert_eq!(dac.quantize(0.0), 0.0);
+        assert_eq!(dac.quantize(1.0), 1.0);
+        let q = dac.quantize(0.5);
+        // Error bounded by half an LSB.
+        assert!((q - 0.5).abs() <= 0.5 / 255.0);
+    }
+
+    #[test]
+    fn adc_round_trip_within_half_lsb() {
+        let adc = Adc::new();
+        for v in [0.0, 0.1, 0.33, 0.9, 1.0] {
+            let code = adc.sample(v, 1.0);
+            let back = adc.reconstruct(code, 1.0);
+            assert!((back - v).abs() <= 0.5 / 255.0 + 1e-12, "v={v}");
+        }
+    }
+
+    #[test]
+    fn adc_clips_out_of_range() {
+        let adc = Adc::new();
+        assert_eq!(adc.sample(2.0, 1.0), 255);
+        assert_eq!(adc.sample(-1.0, 1.0), 0);
+    }
+
+    #[test]
+    fn adc_full_scale_rescales() {
+        let adc = Adc::new();
+        assert_eq!(adc.sample(8.0, 16.0), 128);
+        assert!((adc.reconstruct(255, 16.0) - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dac_dominates_adc_after_temporal_accumulation() {
+        // The motivating imbalance of §3: per-component DAC power is ~38x
+        // the accumulated-readout ADC power.
+        let ratio = Dac::new().power().value() / Adc::new().power().value();
+        assert!(ratio > 30.0, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Micro-ring resonator (MRR) model.
+//!
+//! MRRs play three roles in ReFOCUS: amplitude modulators that encode DAC
+//! outputs onto light (input and weight generation), wavelength-selective
+//! couplers in the WDM encoder, and the on/off *switch* that gates the
+//! feedback optical buffer (§4.1.1).
+
+use crate::units::{MilliWatts, SquareMicrometers};
+use serde::{Deserialize, Serialize};
+
+/// A micro-ring resonator.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_photonics::components::Mrr;
+///
+/// let mrr = Mrr::new();
+/// assert_eq!(mrr.power().value(), 0.42);
+/// // Modulate a normalized drive level onto a carrier:
+/// let out = mrr.modulate(1.0, 0.5);
+/// assert!((out - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mrr {
+    power: MilliWatts,
+    area: SquareMicrometers,
+    /// Resonance wavelength in nanometres (used by the WDM model to decide
+    /// which channel this ring addresses).
+    wavelength_nm: f64,
+    /// Extinction ratio of the off state: fraction of power that leaks
+    /// through when the ring is switched off. An ideal switch has 0.
+    off_leakage: f64,
+}
+
+impl Mrr {
+    /// Paper default power draw (Table 6, \[42\]).
+    pub const DEFAULT_POWER: MilliWatts = MilliWatts::new(0.42);
+    /// Paper default footprint (Table 6, \[32\]).
+    pub const DEFAULT_AREA: SquareMicrometers = SquareMicrometers::new(255.0);
+    /// Nominal C-band carrier used when no WDM channel is specified.
+    pub const DEFAULT_WAVELENGTH_NM: f64 = 1550.0;
+
+    /// Creates an MRR with the paper's default parameters.
+    pub fn new() -> Self {
+        Self {
+            power: Self::DEFAULT_POWER,
+            area: Self::DEFAULT_AREA,
+            wavelength_nm: Self::DEFAULT_WAVELENGTH_NM,
+            off_leakage: 0.0,
+        }
+    }
+
+    /// Creates an MRR tuned to `wavelength_nm` (a WDM channel).
+    pub fn at_wavelength(wavelength_nm: f64) -> Self {
+        Self {
+            wavelength_nm,
+            ..Self::new()
+        }
+    }
+
+    /// Sets the off-state leakage fraction (non-ideal switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leakage` is not in `[0, 1)`.
+    pub fn with_off_leakage(mut self, leakage: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&leakage),
+            "off leakage must be in [0,1), got {leakage}"
+        );
+        self.off_leakage = leakage;
+        self
+    }
+
+    /// Power drawn while actively modulating.
+    pub fn power(&self) -> MilliWatts {
+        self.power
+    }
+
+    /// Chip footprint.
+    pub fn area(&self) -> SquareMicrometers {
+        self.area
+    }
+
+    /// Resonance wavelength in nanometres.
+    pub fn wavelength_nm(&self) -> f64 {
+        self.wavelength_nm
+    }
+
+    /// Modulates a normalized drive level `level` in `[0, 1]` onto a carrier
+    /// field amplitude, returning the output amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside `[0, 1]`.
+    pub fn modulate(&self, carrier_amplitude: f64, level: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&level),
+            "modulation level must be in [0,1], got {level}"
+        );
+        carrier_amplitude * level
+    }
+
+    /// Passes a signal through the ring used as a switch.
+    ///
+    /// When `on`, the signal couples through unchanged; when off, only the
+    /// configured leakage fraction of *power* leaks (amplitude scales by
+    /// `sqrt(leakage)`).
+    pub fn switch(&self, amplitude: f64, on: bool) -> f64 {
+        if on {
+            amplitude
+        } else {
+            amplitude * self.off_leakage.sqrt()
+        }
+    }
+}
+
+impl Default for Mrr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table6() {
+        let m = Mrr::new();
+        assert_eq!(m.power().value(), 0.42);
+        assert_eq!(m.area().value(), 255.0);
+    }
+
+    #[test]
+    fn modulation_scales_amplitude() {
+        let m = Mrr::new();
+        assert_eq!(m.modulate(2.0, 0.25), 0.5);
+        assert_eq!(m.modulate(2.0, 0.0), 0.0);
+        assert_eq!(m.modulate(2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulation level must be in [0,1]")]
+    fn modulation_rejects_out_of_range() {
+        Mrr::new().modulate(1.0, 1.5);
+    }
+
+    #[test]
+    fn ideal_switch_blocks_fully() {
+        let m = Mrr::new();
+        assert_eq!(m.switch(1.0, true), 1.0);
+        assert_eq!(m.switch(1.0, false), 0.0);
+    }
+
+    #[test]
+    fn leaky_switch_passes_fraction() {
+        let m = Mrr::new().with_off_leakage(0.01);
+        let out = m.switch(1.0, false);
+        // 1% power leakage = 10% amplitude leakage.
+        assert!((out - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelength_constructor() {
+        let m = Mrr::at_wavelength(1551.6);
+        assert_eq!(m.wavelength_nm(), 1551.6);
+        assert_eq!(m.power(), Mrr::DEFAULT_POWER);
+    }
+}

@@ -1,0 +1,135 @@
+//! Passive nonlinear material model (the JTC's Fourier-plane square law).
+//!
+//! A JTC only computes a convolution because a *nonlinearity* sits at the
+//! Fourier plane between the two lenses; without it, lens → lens is just an
+//! identity (§2.1). ReFOCUS assumes a passive nonlinear material (ITO in its
+//! epsilon-near-zero region, graphene, AlN — refs [4, 6, 26, 41]) that
+//! realizes an intensity-dependent response approximating `|E|²`, drawing no
+//! electrical power — the "NG" option of PhotoFourier.
+
+use crate::complex::Complex64;
+use serde::{Deserialize, Serialize};
+
+/// How the Fourier-plane nonlinearity maps the incident field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NonlinearResponse {
+    /// Ideal square law: the output field amplitude equals the incident
+    /// *intensity* `|E|²` (phase discarded). This is the textbook JTC
+    /// nonlinearity and the paper's assumption.
+    #[default]
+    SquareLaw,
+    /// Saturating square law: `|E|² / (1 + |E|²/I_sat)` — models a real
+    /// material's finite dynamic range. Approaches `SquareLaw` as
+    /// `I_sat → ∞`.
+    Saturating {
+        /// Saturation intensity in the same normalized units as `|E|²`.
+        saturation_intensity: u32,
+    },
+}
+
+/// A passive nonlinear element applied point-wise at the Fourier plane.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_photonics::components::NonlinearMaterial;
+/// use refocus_photonics::complex::Complex64;
+///
+/// let nl = NonlinearMaterial::new();
+/// let out = nl.apply_point(Complex64::new(3.0, 4.0));
+/// assert!((out.re - 25.0).abs() < 1e-12);
+/// assert_eq!(out.im, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NonlinearMaterial {
+    response: NonlinearResponse,
+}
+
+impl NonlinearMaterial {
+    /// Creates an ideal square-law nonlinearity (the paper's assumption).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a saturating nonlinearity with the given saturation intensity.
+    pub fn saturating(saturation_intensity: u32) -> Self {
+        Self {
+            response: NonlinearResponse::Saturating {
+                saturation_intensity,
+            },
+        }
+    }
+
+    /// The configured response curve.
+    pub fn response(&self) -> NonlinearResponse {
+        self.response
+    }
+
+    /// Applies the nonlinearity to one field sample.
+    pub fn apply_point(&self, field: Complex64) -> Complex64 {
+        let intensity = field.norm_sqr();
+        let out = match self.response {
+            NonlinearResponse::SquareLaw => intensity,
+            NonlinearResponse::Saturating {
+                saturation_intensity,
+            } => intensity / (1.0 + intensity / saturation_intensity as f64),
+        };
+        Complex64::from_real(out)
+    }
+
+    /// Applies the nonlinearity to an entire Fourier-plane field in place.
+    pub fn apply(&self, field: &mut [Complex64]) {
+        for v in field.iter_mut() {
+            *v = self.apply_point(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_law_returns_intensity() {
+        let nl = NonlinearMaterial::new();
+        let out = nl.apply_point(Complex64::from_polar(2.0, 1.0));
+        assert!((out.re - 4.0).abs() < 1e-12);
+        assert_eq!(out.im, 0.0);
+    }
+
+    #[test]
+    fn square_law_is_phase_insensitive() {
+        let nl = NonlinearMaterial::new();
+        let a = nl.apply_point(Complex64::from_polar(1.3, 0.2));
+        let b = nl.apply_point(Complex64::from_polar(1.3, -2.8));
+        assert!((a.re - b.re).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_approaches_square_law_for_weak_fields() {
+        let nl = NonlinearMaterial::saturating(1_000_000);
+        let field = Complex64::from_real(0.5);
+        let ideal = NonlinearMaterial::new().apply_point(field);
+        let sat = nl.apply_point(field);
+        assert!((ideal.re - sat.re).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturating_caps_strong_fields() {
+        let nl = NonlinearMaterial::saturating(1);
+        // intensity 100 -> 100 / 101 < 1 = saturation level.
+        let out = nl.apply_point(Complex64::from_real(10.0));
+        assert!(out.re < 1.0);
+    }
+
+    #[test]
+    fn apply_covers_whole_plane() {
+        let nl = NonlinearMaterial::new();
+        let mut plane = vec![Complex64::new(1.0, 1.0); 4];
+        nl.apply(&mut plane);
+        for v in &plane {
+            assert!((v.re - 2.0).abs() < 1e-12);
+            assert_eq!(v.im, 0.0);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Discrete Fourier transforms.
+//!
+//! An on-chip Fourier lens computes a continuous Fourier transform of the
+//! field on its front focal plane "at the speed of light". The discrete
+//! analog used by the functional JTC model is the DFT, computed here with an
+//! iterative radix-2 Cooley–Tukey FFT for power-of-two lengths and
+//! Bluestein's chirp-z algorithm for everything else, so any signal length a
+//! JTC tile produces can be transformed.
+//!
+//! Convention: `fft` computes `X[k] = sum_n x[n] * e^(-2*pi*i*k*n/N)` and
+//! `ifft` divides by `N`, so `ifft(fft(x)) == x`.
+//!
+//! # Examples
+//!
+//! ```
+//! use refocus_photonics::complex::Complex64;
+//! use refocus_photonics::fft::{fft, ifft};
+//!
+//! let mut x: Vec<Complex64> = (0..8).map(|n| Complex64::from_real(n as f64)).collect();
+//! let original = x.clone();
+//! fft(&mut x);
+//! ifft(&mut x);
+//! for (a, b) in x.iter().zip(&original) {
+//!     assert!((*a - *b).norm() < 1e-9);
+//! }
+//! ```
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Computes the forward DFT of `x` in place.
+///
+/// Uses radix-2 Cooley–Tukey when `x.len()` is a power of two and Bluestein's
+/// algorithm otherwise. Length 0 and 1 are no-ops.
+pub fn fft(x: &mut [Complex64]) {
+    transform(x, Direction::Forward);
+}
+
+/// Computes the inverse DFT of `x` in place, including the `1/N` scaling.
+pub fn ifft(x: &mut [Complex64]) {
+    transform(x, Direction::Inverse);
+}
+
+/// Returns the forward DFT of `x` without modifying the input.
+pub fn fft_of(x: &[Complex64]) -> Vec<Complex64> {
+    let mut y = x.to_vec();
+    fft(&mut y);
+    y
+}
+
+/// Returns the inverse DFT of `x` without modifying the input.
+pub fn ifft_of(x: &[Complex64]) -> Vec<Complex64> {
+    let mut y = x.to_vec();
+    ifft(&mut y);
+    y
+}
+
+/// Returns the forward DFT of a real-valued signal.
+pub fn fft_real(x: &[f64]) -> Vec<Complex64> {
+    let mut y: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+    fft(&mut y);
+    y
+}
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+impl Direction {
+    /// Sign of the exponent: -1 for forward, +1 for inverse.
+    fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+fn transform(x: &mut [Complex64], dir: Direction) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        // The functional simulator transforms the same plane sizes
+        // thousands of times; a thread-local plan cache amortizes twiddle
+        // and permutation setup. The cache is bounded: plane sizes in this
+        // workspace are small powers of two.
+        PLAN_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let plan = cache
+                .entry(n)
+                .or_insert_with(|| std::rc::Rc::new(FftPlan::new(n)))
+                .clone();
+            match dir {
+                Direction::Forward => plan.forward(x),
+                Direction::Inverse => plan.inverse(x),
+            }
+        });
+        return;
+    }
+    bluestein(x, dir);
+    if dir == Direction::Inverse {
+        let inv_n = 1.0 / n as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(inv_n);
+        }
+    }
+}
+
+thread_local! {
+    static PLAN_CACHE: std::cell::RefCell<std::collections::HashMap<usize, std::rc::Rc<FftPlan>>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Iterative radix-2 decimation-in-time FFT. `x.len()` must be a power of two.
+fn radix2(x: &mut [Complex64], dir: Direction) {
+    let n = x.len();
+    debug_assert!(n.is_power_of_two());
+
+    // Bit-reversal permutation.
+    let shift = (n.leading_zeros() + 1) as u32;
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+
+    let sign = dir.sign();
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's chirp-z transform: DFT of arbitrary length via a
+/// power-of-two-length circular convolution.
+fn bluestein(x: &mut [Complex64], dir: Direction) {
+    let n = x.len();
+    let sign = dir.sign();
+
+    // Chirp: w[k] = e^(sign * i * pi * k^2 / n). Use k^2 mod 2n to keep the
+    // angle argument small and exact.
+    let two_n = 2 * n as u64;
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            let k2 = (k as u64 * k as u64) % two_n;
+            Complex64::cis(sign * PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+
+    // a[k] = x[k] * chirp[k], zero-padded to m.
+    let mut a = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+    }
+
+    // b[k] = conj(chirp[k]) arranged circularly (b[-k] = b[m-k]).
+    let mut b = vec![Complex64::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    radix2(&mut a, Direction::Forward);
+    radix2(&mut b, Direction::Forward);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    radix2(&mut a, Direction::Inverse);
+    let inv_m = 1.0 / m as f64;
+
+    for k in 0..n {
+        x[k] = a[k].scale(inv_m) * chirp[k];
+    }
+}
+
+/// Total signal energy `sum |x[n]|^2` — used with Parseval's theorem checks.
+pub fn energy(x: &[Complex64]) -> f64 {
+    x.iter().map(|v| v.norm_sqr()).sum()
+}
+
+/// A reusable FFT plan for one power-of-two length: twiddle factors and the
+/// bit-reversal permutation are computed once, which matters when the JTC
+/// simulator transforms the same plane size thousands of times.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_photonics::complex::Complex64;
+/// use refocus_photonics::fft::{fft_of, FftPlan};
+///
+/// let plan = FftPlan::new(64);
+/// let x: Vec<Complex64> = (0..64).map(|i| Complex64::from_real(i as f64)).collect();
+/// let mut y = x.clone();
+/// plan.forward(&mut y);
+/// let reference = fft_of(&x);
+/// for (a, b) in y.iter().zip(&reference) {
+///     assert!((*a - *b).norm() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Forward twiddles, laid out stage by stage: for stage length `len`,
+    /// the `len/2` roots `e^(-2πik/len)`.
+    twiddles: Vec<Complex64>,
+    /// Per-stage offsets into `twiddles`.
+    stage_offsets: Vec<(usize, usize)>, // (len, offset)
+    /// Bit-reversal swap pairs `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and at least 2, and (for the
+    /// compact swap table) `n <= 2^32`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "plan length must be a power of two >= 2, got {n}"
+        );
+        assert!(n <= (1usize << 32), "plan length too large");
+        let mut twiddles = Vec::new();
+        let mut stage_offsets = Vec::new();
+        let mut len = 2;
+        while len <= n {
+            stage_offsets.push((len, twiddles.len()));
+            let ang = -2.0 * PI / len as f64;
+            for k in 0..len / 2 {
+                twiddles.push(Complex64::cis(ang * k as f64));
+            }
+            len <<= 1;
+        }
+        let shift = (n.leading_zeros() + 1) as u32;
+        let swaps = (0..n)
+            .filter_map(|i| {
+                let j = i.reverse_bits() >> shift;
+                (i < j).then_some((i as u32, j as u32))
+            })
+            .collect();
+        Self {
+            n,
+            twiddles,
+            stage_offsets,
+            swaps,
+        }
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Plans are never empty (length >= 2 enforced).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn run(&self, x: &mut [Complex64], conjugate: bool) {
+        assert_eq!(x.len(), self.n, "plan is for length {}, got {}", self.n, x.len());
+        for &(i, j) in &self.swaps {
+            x.swap(i as usize, j as usize);
+        }
+        for &(len, offset) in &self.stage_offsets {
+            let half = len / 2;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[offset + k];
+                    if conjugate {
+                        w = w.conj();
+                    }
+                    let u = x[start + k];
+                    let v = x[start + k + half] * w;
+                    x[start + k] = u + v;
+                    x[start + k + half] = u - v;
+                }
+            }
+        }
+    }
+
+    /// Forward DFT in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the planned length.
+    pub fn forward(&self, x: &mut [Complex64]) {
+        self.run(x, false);
+    }
+
+    /// Inverse DFT in place, including the `1/N` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the planned length.
+    pub fn inverse(&self, x: &mut [Complex64]) {
+        self.run(x, true);
+        let inv = 1.0 / self.n as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).norm() < tol,
+                "index {i}: {x} vs {y} (diff {})",
+                (*x - *y).norm()
+            );
+        }
+    }
+
+    /// Naive O(N^2) DFT as ground truth.
+    fn dft_naive(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| x[j] * Complex64::cis(-2.0 * PI * (k * j) as f64 / n as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new(i as f64, (i as f64 * 0.3).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let x = ramp(n);
+            let want = dft_naive(&x);
+            let got = fft_of(&x);
+            assert_close(&got, &want, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_length() {
+        for n in [3usize, 5, 6, 7, 12, 15, 33, 100] {
+            let x = ramp(n);
+            let want = dft_naive(&x);
+            let got = fft_of(&x);
+            assert_close(&got, &want, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [1usize, 2, 7, 8, 30, 256] {
+            let x = ramp(n);
+            let y = ifft_of(&fft_of(&x));
+            assert_close(&y, &x, 1e-9 * (n.max(1)) as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - Complex64::ONE).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut x = vec![Complex64::ONE; 8];
+        fft(&mut x);
+        assert!((x[0] - Complex64::from_real(8.0)).norm() < 1e-12);
+        for v in &x[1..] {
+            assert!(v.norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 32;
+        let k0 = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::cis(2.0 * PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            if k == k0 {
+                assert!((v.norm() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.norm() < 1e-9, "leakage at bin {k}: {}", v.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        for n in [8usize, 13, 64] {
+            let x = ramp(n);
+            let time_energy = energy(&x);
+            let freq_energy = energy(&fft_of(&x)) / n as f64;
+            assert!(
+                (time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0),
+                "n={n}: {time_energy} vs {freq_energy}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 24;
+        let a = ramp(n);
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(1.0, -(i as f64))).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(2.0)).collect();
+        let fa = fft_of(&a);
+        let fb = fft_of(&b);
+        let fsum = fft_of(&sum);
+        let want: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + y.scale(2.0)).collect();
+        assert_close(&fsum, &want, 1e-8);
+    }
+
+    #[test]
+    fn real_signal_hermitian_symmetry() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.77).cos()).collect();
+        let f = fft_real(&x);
+        let n = f.len();
+        for k in 1..n {
+            let diff = (f[k] - f[n - k].conj()).norm();
+            assert!(diff < 1e-10, "bin {k} breaks Hermitian symmetry");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut empty: Vec<Complex64> = vec![];
+        fft(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![Complex64::new(3.0, -1.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex64::new(3.0, -1.0));
+        ifft(&mut one);
+        assert_eq!(one[0], Complex64::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn plan_matches_direct_fft_all_sizes() {
+        for n in [2usize, 4, 8, 32, 128, 512] {
+            let plan = FftPlan::new(n);
+            let x = ramp(n);
+            let mut planned = x.clone();
+            plan.forward(&mut planned);
+            let direct = fft_of(&x);
+            assert_close(&planned, &direct, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn plan_round_trip() {
+        let plan = FftPlan::new(256);
+        let x = ramp(256);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        assert_close(&y, &x, 1e-8);
+    }
+
+    #[test]
+    fn plan_is_reusable() {
+        let plan = FftPlan::new(64);
+        for seed in 0..4 {
+            let x: Vec<Complex64> = (0..64)
+                .map(|i| Complex64::new((i + seed) as f64, (i * seed) as f64 * 0.01))
+                .collect();
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            assert_close(&y, &fft_of(&x), 1e-8);
+        }
+        assert_eq!(plan.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn plan_rejects_non_power_of_two() {
+        let _ = FftPlan::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan is for length")]
+    fn plan_rejects_wrong_length_input() {
+        let plan = FftPlan::new(8);
+        let mut x = ramp(16);
+        plan.forward(&mut x);
+    }
+
+    #[test]
+    fn time_shift_is_frequency_phase_ramp() {
+        // x[(n-1) mod N] should transform to X[k] * e^(-2 pi i k / N).
+        let n = 16;
+        let x = ramp(n);
+        let mut shifted = vec![Complex64::ZERO; n];
+        for i in 0..n {
+            shifted[(i + 1) % n] = x[i];
+        }
+        let fx = fft_of(&x);
+        let fs = fft_of(&shifted);
+        for k in 0..n {
+            let want = fx[k] * Complex64::cis(-2.0 * PI * k as f64 / n as f64);
+            assert!((fs[k] - want).norm() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The conventional 4F correlator — the system JTC improves upon (§1, §2).
+//!
+//! A 4F system computes a convolution with two lenses and a *Fourier-domain
+//! filter*: lens → pointwise multiply by the kernel's Fourier transform →
+//! lens. The paper's background contrasts it with the JTC on two counts,
+//! both of which this model makes concrete:
+//!
+//! 1. **Complex filters**: the Fourier transform of even a real kernel is
+//!    complex-valued, so the filter mask must modulate amplitude *and*
+//!    phase ([`FourF::filter_for_kernel`] returns complex values; the
+//!    amplitude-only variant measurably degrades accuracy).
+//! 2. **Filter size**: the mask must cover the whole Fourier plane — one
+//!    complex value per *input* sample, not per kernel tap
+//!    ([`FourF::filter_values_required`] vs the JTC's `k` taps).
+
+use crate::complex::Complex64;
+use crate::fft::{fft, ifft};
+use crate::jtc::JtcError;
+use serde::{Deserialize, Serialize};
+
+/// A 1-D on-chip 4F convolution engine.
+///
+/// # Examples
+///
+/// ```
+/// use refocus_photonics::four_f::FourF;
+///
+/// let four_f = FourF::new();
+/// let signal = [0.1, 0.5, 0.9, 0.3, 0.7];
+/// let kernel = [0.2, 0.6, 0.2];
+/// let out = four_f.correlate(&signal, &kernel)?;
+/// // Same valid cross-correlation the JTC computes:
+/// let want: f64 = signal[0] * 0.2 + signal[1] * 0.6 + signal[2] * 0.2;
+/// assert!((out[0] - want).abs() < 1e-9);
+/// # Ok::<(), refocus_photonics::jtc::JtcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FourF {
+    /// Drop the filter's phase (amplitude-only mask) — the cheap-hardware
+    /// variant whose error the tests quantify.
+    amplitude_only: bool,
+}
+
+impl FourF {
+    /// An ideal 4F system with a full complex filter.
+    pub fn new() -> Self {
+        Self {
+            amplitude_only: false,
+        }
+    }
+
+    /// A 4F system restricted to amplitude-only filter masks.
+    pub fn amplitude_only() -> Self {
+        Self {
+            amplitude_only: true,
+        }
+    }
+
+    /// The Fourier-domain filter implementing cross-correlation with
+    /// `kernel` on a plane of `plane_size` samples: `conj(FFT(kernel))`,
+    /// zero-padded. One complex value per plane sample.
+    pub fn filter_for_kernel(kernel: &[f64], plane_size: usize) -> Vec<Complex64> {
+        let mut f: Vec<Complex64> = kernel
+            .iter()
+            .map(|&v| Complex64::from_real(v))
+            .collect();
+        f.resize(plane_size, Complex64::ZERO);
+        fft(&mut f);
+        for v in f.iter_mut() {
+            *v = v.conj();
+        }
+        f
+    }
+
+    /// Complex filter values a 4F system needs for a length-`signal_len`
+    /// input — always the padded plane size, independent of the kernel.
+    pub fn filter_values_required(signal_len: usize, kernel_len: usize) -> usize {
+        (signal_len + kernel_len - 1).next_power_of_two()
+    }
+
+    /// Valid cross-correlation of `signal` with `kernel` through the 4F
+    /// pipeline: lens → filter mask → lens → detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JtcError`] on empty or negative inputs (same input
+    /// contract as the JTC for comparability).
+    pub fn correlate(&self, signal: &[f64], kernel: &[f64]) -> Result<Vec<f64>, JtcError> {
+        if signal.is_empty() || kernel.is_empty() {
+            return Err(JtcError::EmptyInput);
+        }
+        if signal.iter().any(|&v| v < 0.0) {
+            return Err(JtcError::NegativeValue { which: "signal" });
+        }
+        if kernel.iter().any(|&v| v < 0.0) {
+            return Err(JtcError::NegativeValue { which: "kernel" });
+        }
+        if kernel.len() > signal.len() {
+            return Err(JtcError::PlaneTooSmall {
+                required: kernel.len(),
+                available: signal.len(),
+            });
+        }
+        let n = Self::filter_values_required(signal.len(), kernel.len());
+        let mut filter = Self::filter_for_kernel(kernel, n);
+        if self.amplitude_only {
+            for v in filter.iter_mut() {
+                *v = Complex64::from_real(v.norm());
+            }
+        }
+        // First lens.
+        let mut plane: Vec<Complex64> = signal
+            .iter()
+            .map(|&v| Complex64::from_real(v))
+            .collect();
+        plane.resize(n, Complex64::ZERO);
+        fft(&mut plane);
+        // Fourier-plane filter mask.
+        for (p, f) in plane.iter_mut().zip(&filter) {
+            *p *= *f;
+        }
+        // Second lens.
+        ifft(&mut plane);
+        // Coherent detection of the valid window (lags 0 ..= S-K).
+        let valid = signal.len() - kernel.len() + 1;
+        Ok(plane[..valid].iter().map(|v| v.re).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jtc::Jtc;
+    use crate::signal::correlate_valid;
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64 * 0.31).sin() + 1.0) / 2.0).collect()
+    }
+
+    #[test]
+    fn four_f_matches_direct_correlation() {
+        let four_f = FourF::new();
+        for (ls, lk) in [(8usize, 3usize), (20, 5), (33, 7)] {
+            let s = test_signal(ls);
+            let k: Vec<f64> = (1..=lk).map(|i| i as f64 / lk as f64).collect();
+            let got = four_f.correlate(&s, &k).unwrap();
+            let want = correlate_valid(&s, &k);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-9, "ls={ls} lk={lk}");
+            }
+        }
+    }
+
+    #[test]
+    fn four_f_and_jtc_agree() {
+        // Two very different optical architectures, same math.
+        let s = test_signal(24);
+        let k = vec![0.3, 0.5, 0.2];
+        let via_4f = FourF::new().correlate(&s, &k).unwrap();
+        let via_jtc = Jtc::ideal().correlate(&s, &k).unwrap();
+        for (a, b) in via_4f.iter().zip(via_jtc.valid()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fourier_filters_are_complex() {
+        // §1: 4F filters need phase — the FT of a real asymmetric kernel
+        // has substantial imaginary parts.
+        let filter = FourF::filter_for_kernel(&[0.9, 0.1, 0.4], 16);
+        let max_im = filter.iter().map(|v| v.im.abs()).fold(0.0, f64::max);
+        let max_re = filter.iter().map(|v| v.re.abs()).fold(0.0, f64::max);
+        assert!(max_im > 0.3 * max_re, "im={max_im}, re={max_re}");
+    }
+
+    #[test]
+    fn amplitude_only_filter_degrades_result() {
+        // Dropping the phase (the hardware-cheap option) visibly corrupts
+        // the convolution — why 4F systems need full complex modulators.
+        let s = test_signal(24);
+        let k = vec![0.9, 0.1, 0.4];
+        let want = correlate_valid(&s, &k);
+        let got = FourF::amplitude_only().correlate(&s, &k).unwrap();
+        let err: f64 = got
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        let peak = want.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(err > 0.05 * peak, "err={err}, peak={peak}");
+    }
+
+    #[test]
+    fn filter_size_scales_with_input_not_kernel() {
+        // §1: "Fourier-domain filters need to have the same size as
+        // inputs" — the JTC only programs k taps.
+        let small_kernel = FourF::filter_values_required(256, 3);
+        let large_kernel = FourF::filter_values_required(256, 25);
+        assert!(small_kernel >= 256);
+        assert_eq!(small_kernel, (256usize + 2).next_power_of_two());
+        // Kernel size barely matters; input size dominates.
+        assert!(large_kernel <= 2 * small_kernel);
+        let long_input = FourF::filter_values_required(1024, 3);
+        assert!(long_input >= 2 * small_kernel);
+        // JTC comparison: a 3-tap kernel costs 3 programmable taps on a
+        // JTC vs hundreds of complex filter values on a 4F system.
+        assert!(small_kernel > 3 * 10);
+    }
+
+    #[test]
+    fn input_contract_matches_jtc() {
+        let four_f = FourF::new();
+        assert_eq!(four_f.correlate(&[], &[1.0]), Err(JtcError::EmptyInput));
+        assert_eq!(
+            four_f.correlate(&[-1.0], &[1.0]),
+            Err(JtcError::NegativeValue { which: "signal" })
+        );
+        assert!(matches!(
+            four_f.correlate(&[1.0], &[1.0, 1.0]),
+            Err(JtcError::PlaneTooSmall { .. })
+        ));
+    }
+}

@@ -1,0 +1,520 @@
+//! Joint Transform Correlator (JTC) field simulation.
+//!
+//! A 1-D on-chip JTC (paper §2.1) computes the correlation of two signals
+//! with five photonic stages:
+//!
+//! 1. a multi-channel input beam carrying the signal `s` displaced to
+//!    `+x_s` and the kernel `k` displaced to `-x_k`,
+//! 2. a first on-chip lens — Fourier transform,
+//! 3. a square-law nonlinearity at the Fourier plane (`|·|²`),
+//! 4. a second lens — Fourier transform back,
+//! 5. photodetectors reading the output plane.
+//!
+//! The output plane (paper Eq. 1) contains the two cross-correlation terms
+//! at `±(x_s + x_k)` plus a central non-convolution term `N(x)` that is
+//! spatially filtered out. This module simulates the full field pipeline
+//! with [`Complex64`] arrays and extracts the correlation term, optionally
+//! passing inputs/outputs through the 8-bit DAC/ADC models so end-to-end
+//! numerics include quantization.
+//!
+//! # Examples
+//!
+//! ```
+//! use refocus_photonics::jtc::Jtc;
+//!
+//! let jtc = Jtc::ideal();
+//! let signal = [0.1, 0.5, 0.9, 0.3, 0.7];
+//! let kernel = [0.2, 0.6, 0.2];
+//! let out = jtc.correlate(&signal, &kernel).unwrap();
+//! // out.valid() is the CNN-style "valid convolution" (cross-correlation):
+//! let want: Vec<f64> = (0..3)
+//!     .map(|i| (0..3).map(|j| signal[i + j] * kernel[j]).sum())
+//!     .collect();
+//! for (a, b) in out.valid().iter().zip(&want) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+use crate::complex::Complex64;
+use crate::components::{Adc, Dac, NonlinearMaterial};
+use crate::fft::{fft, ifft};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when a JTC pass cannot be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JtcError {
+    /// One of the inputs was empty.
+    EmptyInput,
+    /// An input value was negative — a JTC carries optical power, which is
+    /// non-negative; negative weights must use pseudo-negative processing
+    /// (see `refocus_nn::quant`).
+    NegativeValue {
+        /// Which input held the offending value.
+        which: &'static str,
+    },
+    /// The configured plane is too small for the requested signal + kernel.
+    PlaneTooSmall {
+        /// Samples required to fit both inputs and keep terms separated.
+        required: usize,
+        /// Samples available on the configured plane.
+        available: usize,
+    },
+}
+
+impl fmt::Display for JtcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JtcError::EmptyInput => write!(f, "signal and kernel must be non-empty"),
+            JtcError::NegativeValue { which } => {
+                write!(f, "{which} contains a negative value; JTC inputs are optical powers")
+            }
+            JtcError::PlaneTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "JTC plane too small: needs {required} samples, has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JtcError {}
+
+/// Configuration and component stack of a single 1-D JTC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Jtc {
+    /// Fixed plane size, or `None` to auto-size per call (smallest
+    /// power of two that keeps all output terms separated).
+    plane_size: Option<usize>,
+    nonlinearity: NonlinearMaterial,
+    /// Input quantizer; `None` for ideal analog inputs.
+    dac: Option<Dac>,
+    /// Output quantizer; `None` for ideal analog readout.
+    adc: Option<Adc>,
+}
+
+impl Jtc {
+    /// An ideal JTC: no quantization, ideal square-law nonlinearity,
+    /// auto-sized plane. The baseline for correctness tests.
+    pub fn ideal() -> Self {
+        Self {
+            plane_size: None,
+            nonlinearity: NonlinearMaterial::new(),
+            dac: None,
+            adc: None,
+        }
+    }
+
+    /// A JTC with the paper's 8-bit converters on inputs and outputs.
+    pub fn quantized() -> Self {
+        Self {
+            dac: Some(Dac::new()),
+            adc: Some(Adc::new()),
+            ..Self::ideal()
+        }
+    }
+
+    /// Fixes the simulated plane size (number of spatial samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn with_plane_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "plane size must be positive");
+        self.plane_size = Some(size);
+        self
+    }
+
+    /// Replaces the Fourier-plane nonlinearity.
+    pub fn with_nonlinearity(mut self, nl: NonlinearMaterial) -> Self {
+        self.nonlinearity = nl;
+        self
+    }
+
+    /// Installs (or removes) the input DAC.
+    pub fn with_dac(mut self, dac: Option<Dac>) -> Self {
+        self.dac = dac;
+        self
+    }
+
+    /// Installs (or removes) the output ADC.
+    pub fn with_adc(mut self, adc: Option<Adc>) -> Self {
+        self.adc = adc;
+        self
+    }
+
+    /// Performs one optical pass, correlating `signal` with `kernel`.
+    ///
+    /// Both inputs must be non-negative (optical powers). The result's
+    /// [`JtcOutput::full`] covers every lag of the cross-correlation;
+    /// [`JtcOutput::valid`] is the CNN-style valid window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JtcError`] if an input is empty or negative, or if a fixed
+    /// plane size cannot hold the inputs with adequate term separation.
+    pub fn correlate(&self, signal: &[f64], kernel: &[f64]) -> Result<JtcOutput, JtcError> {
+        if signal.is_empty() || kernel.is_empty() {
+            return Err(JtcError::EmptyInput);
+        }
+        if signal.iter().any(|&v| v < 0.0) {
+            return Err(JtcError::NegativeValue { which: "signal" });
+        }
+        if kernel.iter().any(|&v| v < 0.0) {
+            return Err(JtcError::NegativeValue { which: "kernel" });
+        }
+
+        let ls = signal.len();
+        let lk = kernel.len();
+        // Separation between kernel origin and signal origin. With the
+        // kernel at 0 and the signal at `sep`, the cross term sits at lags
+        // `sep - (lk-1) ..= sep + (ls-1)` of the output autocorrelation,
+        // while the central N(x) term spans `±(max(ls,lk)-1)`. Keeping them
+        // disjoint requires sep >= max(ls,lk) + lk - 1; one extra guard
+        // sample is added.
+        let sep = ls.max(lk) + lk;
+        // The autocorrelation is circular with period n; the +sep and -sep
+        // terms must not wrap into each other.
+        let required = 2 * (sep + ls.max(lk));
+        let n = match self.plane_size {
+            Some(size) => {
+                if size < required {
+                    return Err(JtcError::PlaneTooSmall {
+                        required,
+                        available: size,
+                    });
+                }
+                size
+            }
+            None => required.next_power_of_two(),
+        };
+
+        // Stage 1: compose the joint input plane, quantizing through the DAC
+        // if configured. DACs encode normalized values; normalize by the
+        // joint maximum and rescale after readout.
+        let peak = signal
+            .iter()
+            .chain(kernel.iter())
+            .fold(0.0_f64, |m, &v| m.max(v));
+        let scale = if peak > 0.0 { peak } else { 1.0 };
+        let encode = |v: f64| -> f64 {
+            match &self.dac {
+                Some(dac) => dac.quantize(v / scale) * scale,
+                None => v,
+            }
+        };
+
+        let mut plane = vec![Complex64::ZERO; n];
+        for (i, &v) in kernel.iter().enumerate() {
+            plane[i] = Complex64::from_real(encode(v));
+        }
+        for (i, &v) in signal.iter().enumerate() {
+            plane[sep + i] = Complex64::from_real(encode(v));
+        }
+
+        // Stage 2: first lens.
+        fft(&mut plane);
+        // Stage 3: Fourier-plane square-law nonlinearity.
+        self.nonlinearity.apply(&mut plane);
+        // Stage 4: second lens. The inverse orientation recovers the
+        // autocorrelation theorem directly: IFFT(|FFT(f)|^2) = autocorr(f).
+        ifft(&mut plane);
+
+        // Stage 5: photodetector readout of the cross term at +sep.
+        // For non-negative inputs the term is real and non-negative;
+        // detection reads its magnitude.
+        let full_len = ls + lk - 1;
+        let mut full = Vec::with_capacity(full_len);
+        for lag in -(lk as isize - 1)..=(ls as isize - 1) {
+            let idx = (sep as isize + lag).rem_euclid(n as isize) as usize;
+            full.push(plane[idx].re.max(0.0));
+        }
+
+        // ADC quantization against the observed full-scale.
+        if let Some(adc) = &self.adc {
+            let fs = full.iter().fold(0.0_f64, |m, &v| m.max(v));
+            if fs > 0.0 {
+                for v in full.iter_mut() {
+                    *v = adc.reconstruct(adc.sample(*v, fs), fs);
+                }
+            }
+        }
+
+        Ok(JtcOutput {
+            full,
+            kernel_len: lk,
+            signal_len: ls,
+            plane_size: n,
+        })
+    }
+
+    /// Returns the detected intensity over the **entire** output plane —
+    /// central `N(x)` term, both cross terms, and the guard gaps — for
+    /// inspection/visualization of the JTC's term geometry (Eq. 1). Also
+    /// returns the separation offset at which the `+` cross term is
+    /// centred.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Jtc::correlate`].
+    pub fn output_plane(
+        &self,
+        signal: &[f64],
+        kernel: &[f64],
+    ) -> Result<(Vec<f64>, usize), JtcError> {
+        if signal.is_empty() || kernel.is_empty() {
+            return Err(JtcError::EmptyInput);
+        }
+        if signal.iter().any(|&v| v < 0.0) {
+            return Err(JtcError::NegativeValue { which: "signal" });
+        }
+        if kernel.iter().any(|&v| v < 0.0) {
+            return Err(JtcError::NegativeValue { which: "kernel" });
+        }
+        let ls = signal.len();
+        let lk = kernel.len();
+        let sep = ls.max(lk) + lk;
+        let n = (2 * (sep + ls.max(lk))).next_power_of_two();
+        let mut plane = vec![Complex64::ZERO; n];
+        for (i, &v) in kernel.iter().enumerate() {
+            plane[i] = Complex64::from_real(v);
+        }
+        for (i, &v) in signal.iter().enumerate() {
+            plane[sep + i] = Complex64::from_real(v);
+        }
+        fft(&mut plane);
+        self.nonlinearity.apply(&mut plane);
+        ifft(&mut plane);
+        Ok((plane.into_iter().map(|v| v.re.max(0.0)).collect(), sep))
+    }
+
+    /// Runs the same pipeline but **without** the Fourier-plane
+    /// nonlinearity, demonstrating that the nonlinearity is what creates the
+    /// convolution (§2.1): lens → lens alone reproduces the input plane.
+    ///
+    /// Returns the output-plane field magnitudes at the positions where the
+    /// original signal was placed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Jtc::correlate`].
+    pub fn pass_without_nonlinearity(
+        &self,
+        signal: &[f64],
+        kernel: &[f64],
+    ) -> Result<Vec<f64>, JtcError> {
+        if signal.is_empty() || kernel.is_empty() {
+            return Err(JtcError::EmptyInput);
+        }
+        let ls = signal.len();
+        let lk = kernel.len();
+        let sep = ls + lk;
+        let n = (2 * (sep + ls)).next_power_of_two();
+        let mut plane = vec![Complex64::ZERO; n];
+        for (i, &v) in kernel.iter().enumerate() {
+            plane[i] = Complex64::from_real(v);
+        }
+        for (i, &v) in signal.iter().enumerate() {
+            plane[sep + i] = Complex64::from_real(v);
+        }
+        fft(&mut plane);
+        ifft(&mut plane);
+        Ok(plane[sep..sep + ls].iter().map(|v| v.norm()).collect())
+    }
+}
+
+/// The detected output of one JTC pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JtcOutput {
+    full: Vec<f64>,
+    kernel_len: usize,
+    signal_len: usize,
+    plane_size: usize,
+}
+
+impl JtcOutput {
+    /// The full cross-correlation, lags `-(K-1) ..= S-1` (length `S+K-1`).
+    pub fn full(&self) -> &[f64] {
+        &self.full
+    }
+
+    /// The "valid" window — lags `0 ..= S-K` — which is exactly a CNN's
+    /// valid cross-correlation of the signal with the kernel.
+    ///
+    /// The lags outside this window are the circular-padding artifacts the
+    /// paper discards as invalid output rows (§2.2).
+    pub fn valid(&self) -> &[f64] {
+        let start = self.kernel_len - 1;
+        let len = self.signal_len - self.kernel_len + 1;
+        &self.full[start..start + len]
+    }
+
+    /// Number of spatial samples the simulated plane used.
+    pub fn plane_size(&self) -> usize {
+        self.plane_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{correlate, correlate_valid, max_abs_diff};
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f64> {
+        // Simple deterministic LCG in [0, 1); no RNG dependency needed here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_jtc_matches_direct_correlation() {
+        let jtc = Jtc::ideal();
+        for (ls, lk, seed) in [(8usize, 3usize, 1u64), (16, 5, 2), (33, 7, 3), (64, 25, 4)] {
+            let s = pseudo_random(ls, seed);
+            let k = pseudo_random(lk, seed + 100);
+            let out = jtc.correlate(&s, &k).unwrap();
+            let want = correlate(&s, &k);
+            assert_eq!(out.full().len(), want.len());
+            assert!(
+                max_abs_diff(out.full(), &want) < 1e-8,
+                "ls={ls} lk={lk}: diff {}",
+                max_abs_diff(out.full(), &want)
+            );
+        }
+    }
+
+    #[test]
+    fn valid_window_matches_cnn_convolution() {
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(20, 7);
+        let k = pseudo_random(3, 8);
+        let out = jtc.correlate(&s, &k).unwrap();
+        let want = correlate_valid(&s, &k);
+        assert_eq!(out.valid().len(), want.len());
+        assert!(max_abs_diff(out.valid(), &want) < 1e-9);
+    }
+
+    #[test]
+    fn without_nonlinearity_output_equals_input() {
+        // §2.1: "the output would be identical to the input without it".
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(12, 5);
+        let k = pseudo_random(4, 6);
+        let through = jtc.pass_without_nonlinearity(&s, &k).unwrap();
+        assert!(max_abs_diff(&through, &s) < 1e-9);
+    }
+
+    #[test]
+    fn quantized_jtc_within_lsb_error() {
+        let jtc = Jtc::quantized();
+        let s = pseudo_random(16, 11);
+        let k = pseudo_random(3, 12);
+        let out = jtc.correlate(&s, &k).unwrap();
+        let want = correlate(&s, &k);
+        let peak = want.iter().fold(0.0_f64, |m, &v| m.max(v));
+        // 8-bit DAC on both inputs plus 8-bit ADC: error stays within a few
+        // percent of full scale.
+        let err = max_abs_diff(out.full(), &want);
+        assert!(err < 0.05 * peak, "err = {err}, peak = {peak}");
+    }
+
+    #[test]
+    fn rejects_negative_inputs() {
+        let jtc = Jtc::ideal();
+        assert_eq!(
+            jtc.correlate(&[1.0, -0.5], &[1.0]),
+            Err(JtcError::NegativeValue { which: "signal" })
+        );
+        assert_eq!(
+            jtc.correlate(&[1.0], &[-1.0]),
+            Err(JtcError::NegativeValue { which: "kernel" })
+        );
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let jtc = Jtc::ideal();
+        assert_eq!(jtc.correlate(&[], &[1.0]), Err(JtcError::EmptyInput));
+        assert_eq!(jtc.correlate(&[1.0], &[]), Err(JtcError::EmptyInput));
+    }
+
+    #[test]
+    fn fixed_plane_too_small_is_reported() {
+        let jtc = Jtc::ideal().with_plane_size(16);
+        let s = pseudo_random(8, 1);
+        let k = pseudo_random(3, 2);
+        match jtc.correlate(&s, &k) {
+            Err(JtcError::PlaneTooSmall { required, available }) => {
+                assert_eq!(available, 16);
+                assert!(required > 16);
+            }
+            other => panic!("expected PlaneTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_plane_large_enough_works() {
+        let s = pseudo_random(8, 1);
+        let k = pseudo_random(3, 2);
+        let jtc = Jtc::ideal().with_plane_size(64);
+        let out = jtc.correlate(&s, &k).unwrap();
+        assert_eq!(out.plane_size(), 64);
+        assert!(max_abs_diff(out.full(), &correlate(&s, &k)) < 1e-9);
+    }
+
+    #[test]
+    fn kernel_longer_than_signal_still_works() {
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(3, 9);
+        let k = pseudo_random(8, 10);
+        let out = jtc.correlate(&s, &k).unwrap();
+        let want = correlate(&s, &k);
+        assert!(max_abs_diff(out.full(), &want) < 1e-9);
+    }
+
+    #[test]
+    fn delta_kernel_is_identity() {
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(10, 21);
+        let out = jtc.correlate(&s, &[1.0]).unwrap();
+        assert!(max_abs_diff(out.valid(), &s) < 1e-9);
+    }
+
+    #[test]
+    fn output_scales_quadratically_with_input_scale() {
+        // Both correlands scale together => output scales as the product.
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(10, 31);
+        let k = pseudo_random(3, 32);
+        let s2: Vec<f64> = s.iter().map(|v| v * 2.0).collect();
+        let k2: Vec<f64> = k.iter().map(|v| v * 2.0).collect();
+        let a = jtc.correlate(&s, &k).unwrap();
+        let b = jtc.correlate(&s2, &k2).unwrap();
+        for (x, y) in a.full().iter().zip(b.full()) {
+            assert!((y - 4.0 * x).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(JtcError::EmptyInput.to_string().contains("non-empty"));
+        assert!(JtcError::NegativeValue { which: "signal" }
+            .to_string()
+            .contains("negative"));
+        assert!(JtcError::PlaneTooSmall {
+            required: 64,
+            available: 16
+        }
+        .to_string()
+        .contains("64"));
+    }
+}

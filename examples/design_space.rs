@@ -1,0 +1,43 @@
+//! Explore the delay-line design space the way §5.4 does: for each delay
+//! length, fit as many RFCUs as the 150 mm² photonic budget allows and
+//! compare power/area efficiency (the paper's Table 4).
+//!
+//! ```text
+//! cargo run --release --example design_space [budget_mm2]
+//! ```
+
+use refocus::arch::dse::{optimal_row, sweep_with_budget, Variant};
+use refocus::nn::models;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(150.0);
+    let suite = models::dse_suite();
+    println!("photonic area budget: {budget} mm^2");
+    println!("workloads: VGG-16, ResNet-18/34/50 (geomean, relative to M=1)\n");
+
+    for (name, variant) in [
+        ("ReFOCUS-FF", Variant::FeedForward),
+        ("ReFOCUS-FB", Variant::FeedBack),
+    ] {
+        let rows = sweep_with_budget(variant, &suite, budget)?;
+        println!("{name}:");
+        println!("{:>4} {:>7} {:>8} {:>10} {:>7}", "M", "N_RFCU", "FPS/W", "FPS/mm^2", "PAP");
+        for r in &rows {
+            println!(
+                "{:>4} {:>7} {:>8.2} {:>10.2} {:>7.2}",
+                r.delay_cycles, r.rfcus, r.relative_fps_per_watt, r.relative_fps_per_mm2, r.relative_pap
+            );
+        }
+        let best = optimal_row(&rows);
+        println!(
+            "  -> optimum: M = {} with {} RFCUs (PAP {:.2})\n",
+            best.delay_cycles, best.rfcus, best.relative_pap
+        );
+    }
+    println!("(the paper picks M = 16 and rounds 18 RFCUs down to 16, a power of two)");
+    Ok(())
+}

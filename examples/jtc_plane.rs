@@ -1,0 +1,48 @@
+//! Visualize the JTC output plane: the central non-convolution term N(x),
+//! the two cross-correlation terms at ±(x_s + x_k), and the guard gaps
+//! that let the spatial filter isolate them (paper Eq. 1 / Fig. 1).
+//!
+//! ```text
+//! cargo run --release --example jtc_plane
+//! ```
+
+use refocus::photonics::jtc::Jtc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let signal: Vec<f64> = (0..24).map(|i| ((i as f64 * 0.45).sin() + 1.0) / 2.0).collect();
+    let kernel = vec![0.2, 0.9, 0.4, 0.1];
+
+    let jtc = Jtc::ideal();
+    let (plane, sep) = jtc.output_plane(&signal, &kernel)?;
+    let n = plane.len();
+    let peak = plane.iter().cloned().fold(0.0f64, f64::max);
+
+    println!("JTC output plane ({n} samples, signal/kernel separation {sep}):\n");
+    let bar_width = 60usize;
+    for (x, &v) in plane.iter().enumerate() {
+        // Only print the interesting half-plane rows plus markers.
+        let signed_x = if x <= n / 2 { x as isize } else { x as isize - n as isize };
+        let magnitude = (v / peak * bar_width as f64).round() as usize;
+        if magnitude == 0 && !(x == sep || signed_x == -(sep as isize) || x == 0) {
+            continue;
+        }
+        let label = if x == 0 {
+            " <- N(x): auto-correlation terms (filtered out)"
+        } else if x == sep {
+            " <- +cross term: THE CONVOLUTION"
+        } else if signed_x == -(sep as isize) {
+            " <- -cross term (mirror)"
+        } else {
+            ""
+        };
+        println!("{signed_x:>5} | {}{label}", "#".repeat(magnitude.max(1)));
+    }
+
+    // The cross term is the convolution: check one value.
+    let out = jtc.correlate(&signal, &kernel)?;
+    let v0 = out.valid()[0];
+    let want: f64 = kernel.iter().enumerate().map(|(k, w)| signal[k] * w).sum();
+    println!("\ncross-term sample at lag 0: {v0:.6} (digital: {want:.6})");
+    println!("terms are disjoint, so photodetectors placed on the + window read a clean convolution");
+    Ok(())
+}

@@ -1,0 +1,150 @@
+//! A complete (toy) vision pipeline on the simulated optics: an 8×8
+//! "digit" classifier whose convolutions all run through the field-level
+//! JTC model with 8-bit converters — the workload class the paper's intro
+//! motivates, end to end.
+//!
+//! The classifier is deliberately training-free (this repo has no training
+//! substrate, by design — see DESIGN.md §2): handcrafted oriented-edge
+//! filters feed a conv → ReLU → pool → conv → ReLU → global-average-pool
+//! feature extractor, and test patterns are matched to class centroids
+//! computed from clean prototypes. The point is not accuracy — it is that
+//! the *optical* features equal the *digital* features, so any downstream
+//! classifier behaves identically.
+//!
+//! ```text
+//! cargo run --release -p refocus --example optical_classifier
+//! ```
+
+use refocus::arch::functional::OpticalExecutor;
+use refocus::nn::conv::conv2d;
+use refocus::nn::pool::{global_average_pool, pool2d, PoolKind};
+use refocus::nn::tensor::{Tensor3, Tensor4};
+use refocus::photonics::noise::NoiseModel;
+
+/// 8x8 glyphs for four classes: 0, 1, 7, L.
+const GLYPHS: [(&str, [u64; 8]); 4] = [
+    ("zero", [0x3c, 0x42, 0x42, 0x42, 0x42, 0x42, 0x42, 0x3c]),
+    ("one", [0x08, 0x18, 0x28, 0x08, 0x08, 0x08, 0x08, 0x3e]),
+    ("seven", [0x7e, 0x02, 0x04, 0x08, 0x10, 0x10, 0x10, 0x10]),
+    ("ell", [0x20, 0x20, 0x20, 0x20, 0x20, 0x20, 0x20, 0x3e]),
+];
+
+fn glyph_tensor(rows: &[u64; 8], jitter: f64, seed: u64) -> Tensor3 {
+    let mut t = Tensor3::zeros(1, 8, 8);
+    for (y, &bits) in rows.iter().enumerate() {
+        for x in 0..8 {
+            if bits >> (7 - x) & 1 == 1 {
+                t.set(0, y, x, 1.0);
+            }
+        }
+    }
+    if jitter > 0.0 {
+        let mut noise = NoiseModel::new(seed).with_additive_sigma(jitter);
+        let data = noise.apply(t.data());
+        for (v, n) in t.data_mut().iter_mut().zip(data) {
+            *v = n.clamp(0.0, 1.0);
+        }
+    }
+    t
+}
+
+/// Handcrafted feature filters: horizontal, vertical, diagonal edges and a
+/// blob detector.
+fn layer1_filters() -> Tensor4 {
+    let mut w = Tensor4::zeros(4, 1, 3, 3);
+    let kernels: [[f64; 9]; 4] = [
+        [-1.0, -1.0, -1.0, 2.0, 2.0, 2.0, -1.0, -1.0, -1.0], // horizontal
+        [-1.0, 2.0, -1.0, -1.0, 2.0, -1.0, -1.0, 2.0, -1.0], // vertical
+        [2.0, -1.0, -1.0, -1.0, 2.0, -1.0, -1.0, -1.0, 2.0], // diagonal
+        [0.1, 0.1, 0.1, 0.1, 0.2, 0.1, 0.1, 0.1, 0.1],       // blob
+    ];
+    for (o, k) in kernels.iter().enumerate() {
+        for (i, &v) in k.iter().enumerate() {
+            w.set(o, 0, i / 3, i % 3, v / 4.0);
+        }
+    }
+    w
+}
+
+fn layer2_filters() -> Tensor4 {
+    // Mixes the four edge maps into six feature channels.
+    Tensor4::random(6, 4, 3, 3, -0.4, 0.4, 77)
+}
+
+/// The feature extractor; `optical` selects which convolution engine runs.
+fn features(img: &Tensor3, exec: Option<&OpticalExecutor>) -> Vec<f64> {
+    let w1 = layer1_filters();
+    let w2 = layer2_filters();
+    let conv = |x: &Tensor3, w: &Tensor4| -> Tensor3 {
+        match exec {
+            Some(e) => e.conv2d(x, w, 1, 1).expect("optical conv"),
+            None => conv2d(x, w, 1, 1).expect("digital conv"),
+        }
+    };
+    let mut a = conv(img, &w1);
+    a.relu();
+    let a = pool2d(&a, PoolKind::Max, 2, 2).expect("pool");
+    let mut b = conv(&a, &w2);
+    b.relu();
+    global_average_pool(&b)
+}
+
+fn nearest(centroids: &[(usize, Vec<f64>)], f: &[f64]) -> usize {
+    centroids
+        .iter()
+        .min_by(|(_, a), (_, b)| {
+            let da: f64 = a.iter().zip(f).map(|(x, y)| (x - y) * (x - y)).sum();
+            let db: f64 = b.iter().zip(f).map(|(x, y)| (x - y) * (x - y)).sum();
+            da.total_cmp(&db)
+        })
+        .map(|(c, _)| *c)
+        .expect("non-empty centroids")
+}
+
+fn main() {
+    let optical = OpticalExecutor::quantized();
+
+    // Class centroids from clean prototypes (digital features).
+    let centroids: Vec<(usize, Vec<f64>)> = GLYPHS
+        .iter()
+        .enumerate()
+        .map(|(c, (_, rows))| (c, features(&glyph_tensor(rows, 0.0, 0), None)))
+        .collect();
+
+    let trials_per_class = 8;
+    let mut agree = 0usize;
+    let mut correct_optical = 0usize;
+    let mut total = 0usize;
+    for (c, (name, rows)) in GLYPHS.iter().enumerate() {
+        for trial in 0..trials_per_class {
+            let img = glyph_tensor(rows, 0.08, (c * 100 + trial) as u64);
+            let fd = features(&img, None);
+            let fo = features(&img, Some(&optical));
+            let pd = nearest(&centroids, &fd);
+            let po = nearest(&centroids, &fo);
+            total += 1;
+            if pd == po {
+                agree += 1;
+            }
+            if po == c {
+                correct_optical += 1;
+            }
+            if trial == 0 {
+                println!(
+                    "{name:>6} trial 0: digital -> {}, optical -> {}",
+                    GLYPHS[pd].0, GLYPHS[po].0
+                );
+            }
+        }
+    }
+    println!(
+        "\noptical/digital prediction agreement: {agree}/{total} \
+         ({} optical predictions correct)",
+        correct_optical
+    );
+    println!(
+        "JTC passes performed: {} (each = one light-speed Fourier-optical correlation)",
+        optical.passes()
+    );
+    assert!(agree * 10 >= total * 9, "optics must track the digital classifier");
+}

@@ -1,0 +1,215 @@
+//! `refocus-sim` — command-line front end to the ReFOCUS simulator.
+//!
+//! ```text
+//! refocus-sim --variant fb --network resnet50
+//! refocus-sim --variant ff --network vgg16 --rfcus 8 --wavelengths 1 --json
+//! refocus-sim --variant baseline --suite
+//! refocus-sim --list-networks
+//! ```
+
+use refocus::arch::config::{AcceleratorConfig, OpticalBufferKind};
+use refocus::arch::simulator::{simulate, simulate_suite};
+use refocus::nn::layer::Network;
+use refocus::nn::models;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+refocus-sim: simulate the ReFOCUS photonic CNN accelerator
+
+USAGE:
+    refocus-sim [OPTIONS]
+
+OPTIONS:
+    --variant <ff|fb|baseline|single>   accelerator preset  [default: fb]
+    --network <name>                    one CNN (see --list-networks) [default: resnet34]
+    --suite                             run all five paper CNNs instead
+    --rfcus <n>                         override RFCU count
+    --wavelengths <n>                   override WDM wavelength count
+    --delay <cycles>                    override delay-line length (caps TA)
+    --reuses <r>                        feedback-buffer reuse count
+    --batch <n>                         weight-stationary batch size
+    --dram                              charge HBM2 DRAM reads (Sec. 7.3)
+    --weight-compression <x>            weight-sharing ratio (e.g. 4.5)
+    --json                              emit the full report as JSON
+    --list-networks                     list available workloads
+    -h, --help                          show this help";
+
+fn network_by_name(name: &str) -> Option<Network> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(models::alexnet()),
+        "vgg16" | "vgg-16" => Some(models::vgg16()),
+        "resnet18" | "resnet-18" => Some(models::resnet18()),
+        "resnet34" | "resnet-34" => Some(models::resnet34()),
+        "resnet50" | "resnet-50" => Some(models::resnet50()),
+        _ => None,
+    }
+}
+
+struct Options {
+    config: AcceleratorConfig,
+    network: Network,
+    suite: bool,
+    json: bool,
+}
+
+fn parse(args: &[String]) -> Result<Option<Options>, String> {
+    let mut variant = "fb".to_string();
+    let mut network = "resnet34".to_string();
+    let mut suite = false;
+    let mut json = false;
+    let mut rfcus = None;
+    let mut wavelengths = None;
+    let mut delay = None;
+    let mut reuses = None;
+    let mut batch = None;
+    let mut dram = false;
+    let mut compression = None;
+
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-networks" => {
+                for n in ["alexnet", "vgg16", "resnet18", "resnet34", "resnet50"] {
+                    println!("{n}");
+                }
+                return Ok(None);
+            }
+            "--variant" => variant = value(&mut i)?,
+            "--network" => network = value(&mut i)?,
+            "--suite" => suite = true,
+            "--json" => json = true,
+            "--dram" => dram = true,
+            "--rfcus" => rfcus = Some(value(&mut i)?.parse::<usize>().map_err(|e| e.to_string())?),
+            "--wavelengths" => {
+                wavelengths = Some(value(&mut i)?.parse::<usize>().map_err(|e| e.to_string())?)
+            }
+            "--delay" => delay = Some(value(&mut i)?.parse::<u32>().map_err(|e| e.to_string())?),
+            "--reuses" => reuses = Some(value(&mut i)?.parse::<u32>().map_err(|e| e.to_string())?),
+            "--batch" => batch = Some(value(&mut i)?.parse::<usize>().map_err(|e| e.to_string())?),
+            "--weight-compression" => {
+                compression = Some(value(&mut i)?.parse::<f64>().map_err(|e| e.to_string())?)
+            }
+            other => return Err(format!("unknown option: {other}\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    let mut config = match variant.as_str() {
+        "ff" => AcceleratorConfig::refocus_ff(),
+        "fb" => AcceleratorConfig::refocus_fb(),
+        "baseline" => AcceleratorConfig::photofourier_baseline(),
+        "single" => AcceleratorConfig::single_jtc(),
+        other => return Err(format!("unknown variant: {other} (ff|fb|baseline|single)")),
+    };
+    if let Some(n) = rfcus {
+        config.rfcus = n;
+    }
+    if let Some(n) = wavelengths {
+        config.wavelengths = n;
+    }
+    if let Some(m) = delay {
+        config.delay_cycles = m;
+        config.temporal_accumulation = config.temporal_accumulation.min(m.max(1));
+    }
+    if let Some(r) = reuses {
+        config.optical_buffer = OpticalBufferKind::FeedBack { reuses: r };
+        if config.delay_cycles == 0 {
+            config.delay_cycles = 16;
+        }
+    }
+    if let Some(b) = batch {
+        config.batch = b;
+    }
+    if let Some(c) = compression {
+        config.weight_compression = c;
+    }
+    config.include_dram = dram;
+    config.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+
+    let network = network_by_name(&network)
+        .ok_or_else(|| format!("unknown network: {network} (try --list-networks)"))?;
+    Ok(Some(Options {
+        config,
+        network,
+        suite,
+        json,
+    }))
+}
+
+fn print_report(r: &refocus::arch::simulator::Report) {
+    println!(
+        "{} on {}: {:.0} FPS | {:.2} W | {:.1} mm^2 | {:.0} FPS/W | {:.1} FPS/mm^2",
+        r.config_name,
+        r.network_name,
+        r.metrics.fps,
+        r.metrics.power_w,
+        r.metrics.area_mm2,
+        r.metrics.fps_per_watt(),
+        r.metrics.fps_per_mm2()
+    );
+    println!("{}", r.energy);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.suite {
+        let suite = models::evaluation_suite();
+        match simulate_suite(&suite, &opts.config) {
+            Ok(s) => {
+                if opts.json {
+                    println!("{}", serde_json::to_string_pretty(&s).expect("serializable"));
+                } else {
+                    for r in &s.reports {
+                        print_report(r);
+                        println!();
+                    }
+                    println!(
+                        "geomean: {:.0} FPS | {:.0} FPS/W | {:.1} FPS/mm^2 | mean {:.2} W",
+                        s.geomean_fps(),
+                        s.geomean_fps_per_watt(),
+                        s.geomean_fps_per_mm2(),
+                        s.mean_power_w()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match simulate(&opts.network, &opts.config) {
+            Ok(r) => {
+                if opts.json {
+                    println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+                } else {
+                    print_report(&r);
+                }
+            }
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

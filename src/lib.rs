@@ -1,0 +1,39 @@
+//! # refocus
+//!
+//! A from-scratch Rust reproduction of **ReFOCUS: Reusing Light for
+//! Efficient Fourier Optics-Based Photonic Neural Network Accelerator**
+//! (Li, Yang, Wong, Sorger, Gupta — MICRO 2023).
+//!
+//! This root crate re-exports the whole workspace:
+//!
+//! * [`photonics`] — FFTs, the JTC field model, photonic components,
+//!   optical buffers, WDM, noise.
+//! * [`nn`] — tensors, reference convolution, the CNN workload zoo, row
+//!   tiling, quantization, weight sharing, channel reordering.
+//! * [`memsim`] — SRAM/DRAM/data-buffer energy and area models.
+//! * [`arch`] — the architecture simulator (perf/energy/area/DSE) and
+//!   baselines.
+//! * [`experiments`] — regenerates every table and figure of the paper.
+//! * [`Accelerator`] — the builder-style front door.
+//!
+//! ```
+//! use refocus::prelude::*;
+//!
+//! let report = Accelerator::refocus_fb().run(&models::resnet34())?;
+//! println!(
+//!     "ReFOCUS-FB, ResNet-34: {:.0} FPS / {:.1} W",
+//!     report.metrics.fps, report.metrics.power_w
+//! );
+//! # Ok::<(), refocus::nn::tiling::TilingError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use refocus_core::prelude;
+pub use refocus_core::Accelerator;
+
+pub use refocus_arch as arch;
+pub use refocus_experiments as experiments;
+pub use refocus_memsim as memsim;
+pub use refocus_nn as nn;
+pub use refocus_photonics as photonics;
