@@ -9,9 +9,9 @@
 use crate::area::area_breakdown;
 use crate::config::{AcceleratorConfig, OpticalBufferKind};
 use crate::dse::{design_point, Variant, PHOTONIC_AREA_BUDGET_MM2};
+use crate::error::SimError;
 use crate::simulator::simulate;
 use refocus_nn::layer::Network;
-use refocus_nn::tiling::TilingError;
 use refocus_photonics::buffer::FeedbackBuffer;
 use refocus_photonics::components::{DelayLine, SlowLightDelayLine};
 use refocus_photonics::units::GigaHertz;
@@ -103,8 +103,8 @@ pub struct BatchRow {
 ///
 /// # Errors
 ///
-/// Returns [`TilingError`] if the network cannot map.
-pub fn batch_study(network: &Network, batches: &[usize]) -> Result<Vec<BatchRow>, TilingError> {
+/// Returns [`SimError`] if the network cannot map.
+pub fn batch_study(network: &Network, batches: &[usize]) -> Result<Vec<BatchRow>, SimError> {
     let mut rows = Vec::with_capacity(batches.len());
     for &batch in batches {
         let cfg = if batch <= 1 {
@@ -147,9 +147,7 @@ mod tests {
             "slow light should free area: {s:?}"
         );
         // Bank shrinks by the 10x slowdown.
-        assert!(
-            (s.spiral_bank_area_mm2 / s.slow_light_bank_area_mm2 - 10.0).abs() < 1e-6
-        );
+        assert!((s.spiral_bank_area_mm2 / s.slow_light_bank_area_mm2 - 10.0).abs() < 1e-6);
         // §7.5's caveat quantified: laser overhead explodes with the loss.
         assert!(s.spiral_laser_overhead < 4.0);
         assert!(

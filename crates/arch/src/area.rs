@@ -17,7 +17,7 @@ use crate::rfcu::ComponentCounts;
 use refocus_memsim::buffers::{BufferParams, DataBuffers, DataflowCase};
 use refocus_memsim::sram::{Sram, KIB, MIB};
 use refocus_photonics::components::{DelayLine, Laser, Mrr, Photodetector, YJunction};
-use refocus_photonics::units::{SquareMillimeters, SquareMicrometers};
+use refocus_photonics::units::{SquareMicrometers, SquareMillimeters};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -171,8 +171,7 @@ fn sram_area(config: &AcceleratorConfig) -> SquareMillimeters {
         };
         let b = DataBuffers::size(DataflowCase::NextFilter, &params);
         // One shared input buffer + per-RFCU output buffers.
-        Sram::new(b.input_bytes()).area()
-            + Sram::new(b.output_bytes()).area() * config.rfcus as f64
+        Sram::new(b.input_bytes()).area() + Sram::new(b.output_bytes()).area() * config.rfcus as f64
     } else {
         SquareMillimeters::ZERO
     };
@@ -204,8 +203,16 @@ mod tests {
     #[test]
     fn fig9_lens_and_delay_dominate_photonics() {
         let a = area_breakdown(&AcceleratorConfig::refocus_fb());
-        assert!((a.lenses.value() - 58.5).abs() < 0.2, "lenses = {}", a.lenses);
-        assert!((a.delay_lines.value() - 41.0).abs() < 0.2, "delay = {}", a.delay_lines);
+        assert!(
+            (a.lenses.value() - 58.5).abs() < 0.2,
+            "lenses = {}",
+            a.lenses
+        );
+        assert!(
+            (a.delay_lines.value() - 41.0).abs() < 0.2,
+            "delay = {}",
+            a.delay_lines
+        );
         // Together more than 70% of photonics.
         let frac = (a.lenses + a.delay_lines) / a.photonic();
         assert!(frac > 0.7, "frac = {frac}");
@@ -230,7 +237,10 @@ mod tests {
         // model keeps one CMOS sizing, so the total lands high. See
         // EXPERIMENTS.md on the Table 2 / Fig 9 / §3 inconsistencies.
         let total = a.total().value();
-        assert!((total - 116.3).abs() < 12.0, "total = {total}, paper: 116.3");
+        assert!(
+            (total - 116.3).abs() < 12.0,
+            "total = {total}, paper: 116.3"
+        );
     }
 
     #[test]
@@ -244,8 +254,12 @@ mod tests {
     fn ff_and_fb_have_same_area() {
         // §6.1: the two versions share the same area (switch MRRs and the
         // extra Y-junctions are negligibly small and nearly offset).
-        let ff = area_breakdown(&AcceleratorConfig::refocus_ff()).total().value();
-        let fb = area_breakdown(&AcceleratorConfig::refocus_fb()).total().value();
+        let ff = area_breakdown(&AcceleratorConfig::refocus_ff())
+            .total()
+            .value();
+        let fb = area_breakdown(&AcceleratorConfig::refocus_fb())
+            .total()
+            .value();
         assert!((ff - fb).abs() / fb < 0.005, "ff = {ff}, fb = {fb}");
     }
 
@@ -255,7 +269,9 @@ mod tests {
         let mut one = AcceleratorConfig::refocus_ff();
         one.wavelengths = 1;
         let a1 = area_breakdown(&one).total().value();
-        let a2 = area_breakdown(&AcceleratorConfig::refocus_ff()).total().value();
+        let a2 = area_breakdown(&AcceleratorConfig::refocus_ff())
+            .total()
+            .value();
         let overhead = (a2 - a1) / a1;
         assert!(
             overhead > 0.005 && overhead < 0.05,

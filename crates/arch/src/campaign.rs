@@ -1,0 +1,388 @@
+//! Fault-injection campaign runner.
+//!
+//! A [`FaultCampaign`] sweeps a base [`FaultSpec`] across a grid of
+//! severities and seeds over the functional convolution path
+//! ([`OpticalExecutor`]), measuring output error against the fault-free
+//! reference on the same optics. The result is a serializable
+//! [`CampaignReport`]: one [`CampaignCell`] per (severity, seed)
+//! realization plus per-severity aggregate [`CampaignRow`]s.
+//!
+//! Because fault sites are chosen by thresholding per-site hashes (see
+//! [`refocus_photonics::faults`]), the fault set at a higher severity is
+//! a superset of the set at a lower severity under the same seed, so
+//! mean error grows monotonically with severity — the campaign's basic
+//! sanity check, exposed as
+//! [`CampaignReport::errors_monotone_in_severity`].
+
+use crate::config::AcceleratorConfig;
+use crate::error::SimError;
+use crate::functional::OpticalExecutor;
+use refocus_nn::tensor::{Tensor3, Tensor4};
+use refocus_photonics::faults::{FaultInjector, FaultSpec};
+use refocus_photonics::jtc::Jtc;
+use serde::{Deserialize, Serialize};
+
+/// The synthetic convolution layer a campaign stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output filters.
+    pub out_channels: usize,
+    /// Input height (pixels).
+    pub height: usize,
+    /// Input width (pixels).
+    pub width: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Convolution stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+    /// Seed for the random activations/weights.
+    pub data_seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            in_channels: 2,
+            out_channels: 4,
+            height: 10,
+            width: 10,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            data_seed: 42,
+        }
+    }
+}
+
+impl Workload {
+    fn input(&self) -> Tensor3 {
+        Tensor3::random(
+            self.in_channels,
+            self.height,
+            self.width,
+            0.0,
+            1.0,
+            self.data_seed,
+        )
+    }
+
+    fn weights(&self) -> Tensor4 {
+        Tensor4::random(
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+            -1.0,
+            1.0,
+            self.data_seed.wrapping_add(1),
+        )
+    }
+}
+
+/// One (severity, seed) measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    /// Severity multiplier applied to the base spec.
+    pub severity: f64,
+    /// Injector seed of this realization.
+    pub seed: u64,
+    /// Max |faulted − reference| over all output elements.
+    pub max_abs_error: f64,
+    /// Root-mean-square error over all output elements.
+    pub rms_error: f64,
+}
+
+/// Per-severity aggregate over all seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// Severity multiplier.
+    pub severity: f64,
+    /// Mean of the per-seed max-abs errors.
+    pub mean_max_abs_error: f64,
+    /// Worst per-seed max-abs error.
+    pub worst_max_abs_error: f64,
+    /// Mean of the per-seed RMS errors.
+    pub mean_rms_error: f64,
+}
+
+/// Full results of one campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Name of the accelerator configuration swept.
+    pub config_name: String,
+    /// The base (severity = 1) fault specification.
+    pub spec: FaultSpec,
+    /// The workload stressed.
+    pub workload: Workload,
+    /// Peak |reference| output magnitude — the scale errors are read
+    /// against.
+    pub reference_peak: f64,
+    /// Every (severity, seed) measurement, severity-major order.
+    pub cells: Vec<CampaignCell>,
+    /// Per-severity aggregates, in sweep order.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignReport {
+    /// Whether mean max-abs error is non-decreasing across the severity
+    /// sweep (within `tolerance` of slack per step, to absorb float
+    /// rounding in error accumulation).
+    pub fn errors_monotone_in_severity(&self, tolerance: f64) -> bool {
+        self.rows
+            .windows(2)
+            .all(|w| w[1].mean_max_abs_error >= w[0].mean_max_abs_error - tolerance)
+    }
+
+    /// The aggregate row at severity exactly `severity`, if present.
+    pub fn row_at(&self, severity: f64) -> Option<&CampaignRow> {
+        self.rows.iter().find(|r| r.severity == severity)
+    }
+}
+
+/// Sweep driver: base spec × severities × seeds on one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaign {
+    config: AcceleratorConfig,
+    spec: FaultSpec,
+    severities: Vec<f64>,
+    seeds: Vec<u64>,
+    workload: Workload,
+}
+
+impl FaultCampaign {
+    /// A campaign over `config` with base spec `spec`, the default
+    /// severity grid `[0, 0.5, 1, 2, 4]`, three seeds, and the default
+    /// [`Workload`].
+    pub fn new(config: AcceleratorConfig, spec: FaultSpec) -> Self {
+        FaultCampaign {
+            config,
+            spec,
+            severities: vec![0.0, 0.5, 1.0, 2.0, 4.0],
+            seeds: vec![1, 2, 3],
+            workload: Workload::default(),
+        }
+    }
+
+    /// Replaces the severity grid.
+    pub fn with_severities(mut self, severities: &[f64]) -> Self {
+        self.severities = severities.to_vec();
+        self
+    }
+
+    /// Replaces the seed set.
+    pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Replaces the workload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for an invalid accelerator
+    /// configuration, [`SimError::Fault`] for an out-of-range fault
+    /// spec or non-finite/negative severity, and propagates functional
+    /// execution failures as [`SimError::Tiling`].
+    pub fn run(&self) -> Result<CampaignReport, SimError> {
+        self.config.validate()?;
+        self.spec.validate()?;
+        for &severity in &self.severities {
+            // `FaultSpec::scaled` asserts on bad severities; check here
+            // so a campaign returns a typed error instead of panicking.
+            if !(severity >= 0.0 && severity.is_finite()) {
+                return Err(SimError::Fault(
+                    refocus_photonics::faults::FaultSpecError::InvalidSigma {
+                        parameter: "severity",
+                        value: severity,
+                    },
+                ));
+            }
+            self.spec.scaled(severity).validate()?;
+        }
+
+        let input = self.workload.input();
+        let weights = self.workload.weights();
+        let clean = OpticalExecutor::new(&self.config, Jtc::ideal());
+        let reference = clean
+            .conv2d(
+                &input,
+                &weights,
+                self.workload.stride,
+                self.workload.padding,
+            )
+            .map_err(sim_error_from_functional)?;
+        let reference_peak = reference.data().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+
+        let mut cells = Vec::with_capacity(self.severities.len() * self.seeds.len());
+        let mut rows = Vec::with_capacity(self.severities.len());
+        for &severity in &self.severities {
+            let scaled = self.spec.scaled(severity);
+            let mut max_errors = Vec::with_capacity(self.seeds.len());
+            let mut rms_errors = Vec::with_capacity(self.seeds.len());
+            for &seed in &self.seeds {
+                let exec = OpticalExecutor::new(&self.config, Jtc::ideal())
+                    .with_faults(FaultInjector::new(scaled, seed));
+                let faulted = exec
+                    .conv2d(
+                        &input,
+                        &weights,
+                        self.workload.stride,
+                        self.workload.padding,
+                    )
+                    .map_err(sim_error_from_functional)?;
+                let (max_abs, rms) = error_stats(&faulted, &reference);
+                cells.push(CampaignCell {
+                    severity,
+                    seed,
+                    max_abs_error: max_abs,
+                    rms_error: rms,
+                });
+                max_errors.push(max_abs);
+                rms_errors.push(rms);
+            }
+            rows.push(CampaignRow {
+                severity,
+                mean_max_abs_error: mean(&max_errors),
+                worst_max_abs_error: max_errors.iter().fold(0.0f64, |m, &v| m.max(v)),
+                mean_rms_error: mean(&rms_errors),
+            });
+        }
+
+        Ok(CampaignReport {
+            config_name: self.config.name.clone(),
+            spec: self.spec,
+            workload: self.workload,
+            reference_peak,
+            cells,
+            rows,
+        })
+    }
+}
+
+fn sim_error_from_functional(e: crate::functional::FunctionalError) -> SimError {
+    match e {
+        crate::functional::FunctionalError::Tiling(t) => SimError::Tiling(t),
+        // Negative activations / shape mismatches cannot arise from the
+        // non-negative random workload; map them through the tiling
+        // variant's BadOperand for completeness.
+        _ => SimError::Tiling(refocus_nn::tiling::TilingError::BadOperand(
+            "campaign workload rejected by functional executor",
+        )),
+    }
+}
+
+fn error_stats(faulted: &Tensor3, reference: &Tensor3) -> (f64, f64) {
+    let mut max_abs = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for (f, r) in faulted.data().iter().zip(reference.data()) {
+        let d = (f - r).abs();
+        max_abs = max_abs.max(d);
+        sum_sq += d * d;
+    }
+    (max_abs, (sum_sq / reference.data().len() as f64).sqrt())
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> FaultSpec {
+        FaultSpec::none()
+            .with_stuck_weights(0.02, 0.0)
+            .with_dead_pixel_rate(0.02)
+            .with_laser_drift(0.002, 0.05)
+    }
+
+    fn small_campaign() -> FaultCampaign {
+        FaultCampaign::new(AcceleratorConfig::refocus_fb(), base_spec())
+            .with_severities(&[0.0, 1.0, 4.0])
+            .with_seeds(&[1, 2])
+            .with_workload(Workload {
+                height: 6,
+                width: 6,
+                out_channels: 2,
+                ..Workload::default()
+            })
+    }
+
+    #[test]
+    fn fault_free_severity_reproduces_reference() {
+        let report = small_campaign().run().unwrap();
+        let zero = report.row_at(0.0).unwrap();
+        assert_eq!(zero.mean_max_abs_error, 0.0);
+        assert_eq!(zero.mean_rms_error, 0.0);
+        assert!(report.reference_peak > 0.0);
+    }
+
+    #[test]
+    fn error_grows_monotonically_with_severity() {
+        let report = small_campaign().run().unwrap();
+        assert!(
+            report.errors_monotone_in_severity(1e-12),
+            "{:?}",
+            report.rows
+        );
+        let top = report.row_at(4.0).unwrap();
+        assert!(top.mean_max_abs_error > 0.0);
+    }
+
+    #[test]
+    fn same_seed_produces_identical_report() {
+        let a = small_campaign().run().unwrap();
+        let b = small_campaign().run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = small_campaign().run().unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let mut cfg = AcceleratorConfig::refocus_fb();
+        cfg.tile = 0;
+        let err = FaultCampaign::new(cfg, base_spec()).run().unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn invalid_spec_and_severity_are_typed_errors() {
+        let bad = FaultSpec::none().with_dead_pixel_rate(1.5);
+        let err = FaultCampaign::new(AcceleratorConfig::refocus_fb(), bad)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Fault(_)), "got {err:?}");
+
+        let err = small_campaign().with_severities(&[-1.0]).run().unwrap_err();
+        assert!(matches!(err, SimError::Fault(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn cells_cover_the_full_grid() {
+        let report = small_campaign().run().unwrap();
+        assert_eq!(report.cells.len(), 3 * 2);
+        assert_eq!(report.rows.len(), 3);
+    }
+}

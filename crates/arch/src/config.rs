@@ -328,7 +328,8 @@ mod tests {
             AcceleratorConfig::photofourier_baseline(),
             AcceleratorConfig::single_jtc(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 
@@ -344,7 +345,10 @@ mod tests {
         // ADC at 625 MHz.
         assert!((ff.adc_clock().value() - 0.625).abs() < 1e-12);
         let fb = AcceleratorConfig::refocus_fb();
-        assert_eq!(fb.optical_buffer, OpticalBufferKind::FeedBack { reuses: 15 });
+        assert_eq!(
+            fb.optical_buffer,
+            OpticalBufferKind::FeedBack { reuses: 15 }
+        );
         assert_eq!(fb.max_input_uses(), 16);
     }
 
@@ -443,7 +447,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ConfigError::BufferWithoutDelay.to_string().contains("delay"));
-        assert!(ConfigError::ZeroParameter("tile").to_string().contains("tile"));
+        assert!(ConfigError::BufferWithoutDelay
+            .to_string()
+            .contains("delay"));
+        assert!(ConfigError::ZeroParameter("tile")
+            .to_string()
+            .contains("tile"));
     }
 }

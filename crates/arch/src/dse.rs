@@ -10,10 +10,10 @@
 
 use crate::area::area_breakdown;
 use crate::config::{AcceleratorConfig, OpticalBufferKind};
+use crate::error::SimError;
 use crate::metrics::geomean_ratio;
 use crate::simulator::simulate_suite;
 use refocus_nn::layer::Network;
-use refocus_nn::tiling::TilingError;
 use serde::{Deserialize, Serialize};
 
 /// The paper's photonic area budget (§5.4.1).
@@ -87,7 +87,10 @@ pub fn max_rfcus(variant: Variant, delay_cycles: u32, budget_mm2: f64) -> usize 
         let cfg = design_point(variant, delay_cycles, n);
         area_breakdown(&cfg).photonic().value() <= budget_mm2
     };
-    assert!(fits(1), "not even one RFCU fits the {budget_mm2} mm2 budget");
+    assert!(
+        fits(1),
+        "not even one RFCU fits the {budget_mm2} mm2 budget"
+    );
     while fits(n + 1) {
         n += 1;
     }
@@ -98,8 +101,9 @@ pub fn max_rfcus(variant: Variant, delay_cycles: u32, budget_mm2: f64) -> usize 
 ///
 /// # Errors
 ///
-/// Returns [`TilingError`] if a workload cannot map.
-pub fn sweep(variant: Variant, suite: &[Network]) -> Result<Vec<DseRow>, TilingError> {
+/// Returns [`SimError`] if a workload cannot map or a design point is
+/// invalid.
+pub fn sweep(variant: Variant, suite: &[Network]) -> Result<Vec<DseRow>, SimError> {
     sweep_with_budget(variant, suite, PHOTONIC_AREA_BUDGET_MM2)
 }
 
@@ -107,12 +111,13 @@ pub fn sweep(variant: Variant, suite: &[Network]) -> Result<Vec<DseRow>, TilingE
 ///
 /// # Errors
 ///
-/// Returns [`TilingError`] if a workload cannot map.
+/// Returns [`SimError`] if a workload cannot map or a design point is
+/// invalid.
 pub fn sweep_with_budget(
     variant: Variant,
     suite: &[Network],
     budget_mm2: f64,
-) -> Result<Vec<DseRow>, TilingError> {
+) -> Result<Vec<DseRow>, SimError> {
     // Per-network metric vectors for each M.
     let mut rows = Vec::with_capacity(TABLE4_DELAY_CYCLES.len());
     let mut per_m: Vec<(u32, usize, Vec<f64>, Vec<f64>)> = Vec::new();

@@ -150,12 +150,18 @@ impl fmt::Display for EnergyBreakdown {
 pub struct EnergyOptions {
     /// Multiplier (≤ 1) on weight-DAC loads from §7.3 channel reordering.
     pub weight_dac_load_factor: f64,
+    /// Multiplier (≥ 1) on laser power budgeted against worst-case laser
+    /// drift: a drift-tolerant design over-provisions so the weakest
+    /// excursion still delivers minimum detectable power. Derive it with
+    /// [`FaultSpec::laser_margin`](refocus_photonics::faults::FaultSpec::laser_margin).
+    pub laser_fault_margin: f64,
 }
 
 impl Default for EnergyOptions {
     fn default() -> Self {
         Self {
             weight_dac_load_factor: 1.0,
+            laser_fault_margin: 1.0,
         }
     }
 }
@@ -195,6 +201,10 @@ impl EnergyModel {
             options.weight_dac_load_factor > 0.0 && options.weight_dac_load_factor <= 1.0,
             "weight DAC load factor must be in (0,1]"
         );
+        assert!(
+            options.laser_fault_margin >= 1.0 && options.laser_fault_margin.is_finite(),
+            "laser fault margin must be finite and >= 1"
+        );
         let counts = ComponentCounts::of(config);
         let dac = Dac::at_clock(config.clock);
         // Energy per conversion is rate-independent (linear power scaling).
@@ -209,8 +219,10 @@ impl EnergyModel {
         let min = Laser::new().min_power().to_watts().value();
         let input_sources = (config.tile * config.wavelengths) as f64;
         let weight_sources = (config.weight_waveguides * config.wavelengths * config.rfcus) as f64;
-        let laser_power =
-            Watts::new(min * (input_sources * config.laser_overhead() + weight_sources));
+        let laser_power = Watts::new(
+            min * (input_sources * config.laser_overhead() + weight_sources)
+                * options.laser_fault_margin,
+        );
 
         let activation_sram = Sram::new(4 * MIB);
         let weight_sram = Sram::new(512 * KIB);
@@ -384,7 +396,10 @@ mod tests {
             total += run(&cfg, net).2.value();
         }
         let avg = total / suite.len() as f64;
-        assert!((7.0..16.0).contains(&avg), "FB avg power = {avg} (paper 10.8)");
+        assert!(
+            (7.0..16.0).contains(&avg),
+            "FB avg power = {avg} (paper 10.8)"
+        );
     }
 
     #[test]
@@ -400,7 +415,10 @@ mod tests {
         }
         let ff = ff_total / suite.len() as f64;
         let fb = fb_total / suite.len() as f64;
-        assert!((9.0..19.0).contains(&ff), "FF avg power = {ff} (paper 14.0)");
+        assert!(
+            (9.0..19.0).contains(&ff),
+            "FF avg power = {ff} (paper 14.0)"
+        );
         // §6.1: FF consumes more than FB (less input-DAC reuse).
         assert!(ff > fb, "ff = {ff}, fb = {fb}");
     }
@@ -414,7 +432,10 @@ mod tests {
             total += run(&cfg, net).2.value();
         }
         let avg = total / suite.len() as f64;
-        assert!((11.0..26.0).contains(&avg), "baseline power = {avg} (paper 15.7)");
+        assert!(
+            (11.0..26.0).contains(&avg),
+            "baseline power = {avg} (paper 15.7)"
+        );
     }
 
     #[test]
@@ -424,7 +445,10 @@ mod tests {
         let net = models::resnet34();
         let (energy, _, _) = run(&cfg, &net);
         let share = energy.weight_dac / energy.dac();
-        assert!((0.75..0.98).contains(&share), "share = {share} (paper 0.90)");
+        assert!(
+            (0.75..0.98).contains(&share),
+            "share = {share} (paper 0.90)"
+        );
     }
 
     #[test]
@@ -436,7 +460,10 @@ mod tests {
         let ff_share = ff.weight_dac / ff.dac();
         let fb_share = fb.weight_dac / fb.dac();
         assert!(ff_share < fb_share);
-        assert!((0.4..0.75).contains(&ff_share), "ff share = {ff_share} (paper 0.53)");
+        assert!(
+            (0.4..0.75).contains(&ff_share),
+            "ff share = {ff_share} (paper 0.53)"
+        );
     }
 
     #[test]
@@ -542,7 +569,10 @@ mod tests {
         let (a, _, _) = run(&plain, &net);
         let (b, _, _) = run(&shared, &net);
         let dram_ratio = a.dram / b.dram;
-        assert!((4.0..5.0).contains(&dram_ratio), "dram ratio = {dram_ratio}");
+        assert!(
+            (4.0..5.0).contains(&dram_ratio),
+            "dram ratio = {dram_ratio}"
+        );
         assert!(b.weight_sram.value() < a.weight_sram.value());
     }
 
@@ -554,10 +584,37 @@ mod tests {
         let base = EnergyModel::new(&cfg).network_energy(&net, &perf);
         let opts = EnergyOptions {
             weight_dac_load_factor: 0.85,
+            ..EnergyOptions::default()
         };
         let opt = EnergyModel::with_options(&cfg, opts).network_energy(&net, &perf);
         let ratio = opt.weight_dac / base.weight_dac;
         assert!((ratio - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laser_fault_margin_scales_laser_power() {
+        use refocus_photonics::faults::FaultSpec;
+        let cfg = AcceleratorConfig::refocus_fb();
+        let base = EnergyModel::new(&cfg);
+        let spec = FaultSpec::none().with_laser_drift(0.01, 0.1);
+        let opts = EnergyOptions {
+            laser_fault_margin: spec.laser_margin(),
+            ..EnergyOptions::default()
+        };
+        let margined = EnergyModel::with_options(&cfg, opts);
+        let ratio = margined.laser_power() / base.laser_power();
+        // 10% drift limit ⇒ 1/(1-0.1) ≈ 1.111 over-provisioning.
+        assert!((ratio - 1.0 / 0.9).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "laser fault margin")]
+    fn sub_unit_laser_margin_rejected() {
+        let opts = EnergyOptions {
+            laser_fault_margin: 0.5,
+            ..EnergyOptions::default()
+        };
+        let _ = EnergyModel::with_options(&AcceleratorConfig::refocus_fb(), opts);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Unified simulation error hierarchy.
+//!
+//! Every fallible entry point of the simulator — [`simulate`],
+//! [`simulate_suite`], the [`FaultCampaign`](crate::campaign) runner, and
+//! the `refocus-core` facade — returns [`SimError`], one enum covering
+//! configuration, mapping, and dynamic-range failures. Callers match on
+//! the variant instead of juggling per-layer error types; the underlying
+//! typed errors stay reachable through [`std::error::Error::source`] and
+//! the `From` conversions.
+//!
+//! [`simulate`]: crate::simulator::simulate
+//! [`simulate_suite`]: crate::simulator::simulate_suite
+
+use crate::config::ConfigError;
+use refocus_nn::tiling::TilingError;
+use refocus_photonics::faults::FaultSpecError;
+use std::fmt;
+
+/// Any error the simulator's entry points can return.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The accelerator configuration violates a structural invariant
+    /// (caught by [`AcceleratorConfig::validate`](crate::config::AcceleratorConfig::validate)
+    /// before any model runs).
+    Config(ConfigError),
+    /// A layer cannot map onto the configured JTC geometry.
+    Tiling(TilingError),
+    /// A fault-campaign specification has an out-of-range parameter.
+    Fault(FaultSpecError),
+    /// The optical buffer's replay dynamic range exceeds what the
+    /// photodetector/ADC can absorb, and no feasible degradation exists
+    /// (§5.4.2) — e.g. even a single reuse through the configured delay
+    /// line spreads signals beyond the converter's levels.
+    DynamicRange {
+        /// Spread (max/min replay power) the configuration demands.
+        required: f64,
+        /// Spread the photodetector/ADC budget supports.
+        supported: f64,
+    },
+    /// The network has no layers; latency would be zero and every derived
+    /// metric undefined.
+    EmptyNetwork {
+        /// The offending network's name.
+        network: String,
+    },
+    /// A suite simulation was asked to aggregate zero networks; geomean
+    /// metrics would be undefined.
+    EmptySuite,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::Tiling(e) => write!(f, "layer mapping failed: {e}"),
+            SimError::Fault(e) => write!(f, "invalid fault specification: {e}"),
+            SimError::DynamicRange {
+                required,
+                supported,
+            } => write!(
+                f,
+                "optical buffer dynamic range {required:.3e} exceeds the \
+                 {supported:.0}x photodetector/ADC budget and no feasible \
+                 reuse fallback exists"
+            ),
+            SimError::EmptyNetwork { network } => {
+                write!(f, "network '{network}' has no layers to simulate")
+            }
+            SimError::EmptySuite => write!(f, "cannot simulate an empty workload suite"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Tiling(e) => Some(e),
+            SimError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<TilingError> for SimError {
+    fn from(e: TilingError) -> Self {
+        SimError::Tiling(e)
+    }
+}
+
+impl From<FaultSpecError> for SimError {
+    fn from(e: FaultSpecError) -> Self {
+        SimError::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = SimError::from(ConfigError::ZeroParameter("tile"));
+        assert!(e.to_string().contains("invalid configuration"));
+        let e = SimError::DynamicRange {
+            required: 4.8e4,
+            supported: 256.0,
+        };
+        assert!(e.to_string().contains("256"));
+        assert!(SimError::EmptySuite.to_string().contains("empty"));
+        let e = SimError::EmptyNetwork {
+            network: "x".into(),
+        };
+        assert!(e.to_string().contains("no layers"));
+    }
+
+    #[test]
+    fn sources_reach_underlying_errors() {
+        use std::error::Error;
+        let e = SimError::from(ConfigError::BufferWithoutDelay);
+        assert!(e.source().is_some());
+        assert!(SimError::EmptySuite.source().is_none());
+    }
+}

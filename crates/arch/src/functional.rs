@@ -15,6 +15,7 @@ use refocus_nn::quant::PseudoNegativeSplit;
 use refocus_nn::tensor::{Tensor3, Tensor4};
 use refocus_nn::tiling::{tiled_conv2d_with, TilingError, TilingMode};
 use refocus_photonics::buffer::FeedbackBuffer;
+use refocus_photonics::faults::FaultInjector;
 use refocus_photonics::jtc::Jtc;
 use std::fmt;
 
@@ -34,7 +35,10 @@ impl fmt::Display for FunctionalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FunctionalError::NegativeActivation => {
-                write!(f, "activations must be non-negative to modulate optical power")
+                write!(
+                    f,
+                    "activations must be non-negative to modulate optical power"
+                )
             }
             FunctionalError::Shape(e) => write!(f, "shape error: {e}"),
             FunctionalError::Tiling(e) => write!(f, "tiling error: {e}"),
@@ -73,6 +77,10 @@ pub struct OpticalExecutor {
     /// Count of optical passes performed (for cross-checking the perf
     /// model's pass accounting).
     passes: std::cell::Cell<u64>,
+    /// Device-fault model applied to every optical pass, if any. Interior
+    /// mutability because fault state (the laser drift walk, composed
+    /// noise) advances per pass while `conv2d` takes `&self`.
+    faults: Option<std::cell::RefCell<FaultInjector>>,
 }
 
 impl OpticalExecutor {
@@ -85,6 +93,25 @@ impl OpticalExecutor {
             // digital reference irrespective of column bookkeeping.
             mode: TilingMode::Exact,
             passes: std::cell::Cell::new(0),
+            faults: None,
+        }
+    }
+
+    /// Attaches a device-fault model: every subsequent optical pass runs
+    /// through [`Jtc::correlate_with_faults`] with this injector (stuck
+    /// weight taps, dead detector pixels, laser drift, composed analog
+    /// noise). A transparent injector leaves results bit-identical.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(std::cell::RefCell::new(injector));
+        self
+    }
+
+    /// Rewinds the attached fault model's stream state (drift walk, noise)
+    /// so a layer can be re-run under the identical fault realization.
+    /// No-op without an attached injector.
+    pub fn reset_faults(&self) {
+        if let Some(faults) = &self.faults {
+            faults.borrow_mut().reset();
         }
     }
 
@@ -107,10 +134,14 @@ impl OpticalExecutor {
     /// Runs one 1-D valid correlation through the optical JTC.
     fn optical_pass(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
         self.passes.set(self.passes.get() + 1);
-        let out = self
-            .jtc
-            .correlate(signal, kernel)
-            .expect("tiling guarantees non-negative, well-sized operands");
+        let out = match &self.faults {
+            Some(faults) => {
+                self.jtc
+                    .correlate_with_faults(signal, kernel, &mut faults.borrow_mut())
+            }
+            None => self.jtc.correlate(signal, kernel),
+        }
+        .expect("tiling guarantees non-negative, well-sized operands");
         out.valid().to_vec()
     }
 
@@ -144,18 +175,24 @@ impl OpticalExecutor {
         let split = PseudoNegativeSplit::of(weights);
         let padded = input.pad_spatial(padding);
         let (kh, kw) = (weights.kernel_h(), weights.kernel_w());
-        let full_h = padded.height().checked_sub(kh).map(|v| v + 1).ok_or(
-            FunctionalError::Shape(ConvError::KernelTooLarge {
-                input: (padded.height(), padded.width()),
-                kernel: (kh, kw),
-            }),
-        )?;
-        let full_w = padded.width().checked_sub(kw).map(|v| v + 1).ok_or(
-            FunctionalError::Shape(ConvError::KernelTooLarge {
-                input: (padded.height(), padded.width()),
-                kernel: (kh, kw),
-            }),
-        )?;
+        let full_h =
+            padded
+                .height()
+                .checked_sub(kh)
+                .map(|v| v + 1)
+                .ok_or(FunctionalError::Shape(ConvError::KernelTooLarge {
+                    input: (padded.height(), padded.width()),
+                    kernel: (kh, kw),
+                }))?;
+        let full_w =
+            padded
+                .width()
+                .checked_sub(kw)
+                .map(|v| v + 1)
+                .ok_or(FunctionalError::Shape(ConvError::KernelTooLarge {
+                    input: (padded.height(), padded.width()),
+                    kernel: (kh, kw),
+                }))?;
         let out_h = (full_h - 1) / stride + 1;
         let out_w = (full_w - 1) / stride + 1;
 
@@ -165,11 +202,8 @@ impl OpticalExecutor {
             let mut pos = vec![vec![0.0; full_w]; full_h];
             let mut neg = vec![vec![0.0; full_w]; full_h];
             for i in 0..input.channels() {
-                let rows: Vec<Vec<f64>> = padded
-                    .channel_rows(i)
-                    .iter()
-                    .map(|r| r.to_vec())
-                    .collect();
+                let rows: Vec<Vec<f64>> =
+                    padded.channel_rows(i).iter().map(|r| r.to_vec()).collect();
                 for (half, acc) in [
                     (split.positive.kernel(o, i), &mut pos),
                     (split.negative.kernel(o, i), &mut neg),
@@ -223,7 +257,12 @@ impl OpticalExecutor {
             let mut attenuated = input.clone();
             attenuated.map_inplace(|v| v * attenuation);
             // Single-filter weight tensor.
-            let mut single = Tensor4::zeros(1, weights.in_channels(), weights.kernel_h(), weights.kernel_w());
+            let mut single = Tensor4::zeros(
+                1,
+                weights.in_channels(),
+                weights.kernel_h(),
+                weights.kernel_w(),
+            );
             for i in 0..weights.in_channels() {
                 for ky in 0..weights.kernel_h() {
                     for kx in 0..weights.kernel_w() {
@@ -270,7 +309,11 @@ mod tests {
         let optical = exec.conv2d(&input, &weights, 1, 1).unwrap();
         let digital = conv2d(&input, &weights, 1, 1).unwrap();
         assert_eq!(optical.shape(), digital.shape());
-        assert!(max_diff(&optical, &digital) < 1e-7, "diff = {}", max_diff(&optical, &digital));
+        assert!(
+            max_diff(&optical, &digital) < 1e-7,
+            "diff = {}",
+            max_diff(&optical, &digital)
+        );
         assert!(exec.passes() > 0);
     }
 
@@ -313,7 +356,11 @@ mod tests {
             .conv2d_with_feedback_reuse(&input, &weights, 1, 1, &buffer)
             .unwrap();
         let digital = conv2d(&input, &weights, 1, 1).unwrap();
-        assert!(max_diff(&reused, &digital) < 1e-7, "diff = {}", max_diff(&reused, &digital));
+        assert!(
+            max_diff(&reused, &digital) < 1e-7,
+            "diff = {}",
+            max_diff(&reused, &digital)
+        );
     }
 
     #[test]
@@ -360,5 +407,55 @@ mod tests {
     fn error_display() {
         let e = FunctionalError::NegativeActivation;
         assert!(e.to_string().contains("non-negative"));
+    }
+
+    #[test]
+    fn transparent_faults_leave_conv_bit_identical() {
+        use refocus_photonics::faults::{FaultInjector, FaultSpec};
+        let clean = OpticalExecutor::ideal();
+        let faulted =
+            OpticalExecutor::ideal().with_faults(FaultInjector::new(FaultSpec::none(), 1));
+        let input = Tensor3::random(2, 8, 8, 0.0, 1.0, 16);
+        let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 17);
+        let a = clean.conv2d(&input, &weights, 1, 1).unwrap();
+        let b = faulted.conv2d(&input, &weights, 1, 1).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn fault_severity_increases_conv_error() {
+        use refocus_photonics::faults::{FaultInjector, FaultSpec};
+        let input = Tensor3::random(2, 8, 8, 0.0, 1.0, 18);
+        let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 19);
+        let reference = conv2d(&input, &weights, 1, 1).unwrap();
+        let base = FaultSpec::none().with_dead_pixel_rate(0.02);
+        let mut prev = 0.0;
+        for severity in [0.0, 1.0, 4.0] {
+            let exec =
+                OpticalExecutor::ideal().with_faults(FaultInjector::new(base.scaled(severity), 77));
+            let out = exec.conv2d(&input, &weights, 1, 1).unwrap();
+            let err = max_diff(&out, &reference);
+            assert!(err >= prev, "severity {severity}: error {err} < {prev}");
+            prev = err;
+        }
+        assert!(prev > 0.0, "highest severity produced no error");
+    }
+
+    #[test]
+    fn reset_faults_replays_identical_realization() {
+        use refocus_photonics::faults::{FaultInjector, FaultSpec};
+        let exec = OpticalExecutor::ideal().with_faults(FaultInjector::new(
+            FaultSpec::none().with_laser_drift(0.01, 0.1),
+            5,
+        ));
+        let input = Tensor3::random(1, 6, 6, 0.0, 1.0, 20);
+        let weights = Tensor4::random(1, 1, 3, 3, -1.0, 1.0, 21);
+        let first = exec.conv2d(&input, &weights, 1, 0).unwrap();
+        let unreset = exec.conv2d(&input, &weights, 1, 0).unwrap();
+        // Drift walk continued: second run differs.
+        assert_ne!(first.data(), unreset.data());
+        exec.reset_faults();
+        let replayed = exec.conv2d(&input, &weights, 1, 0).unwrap();
+        assert_eq!(first.data(), replayed.data());
     }
 }

@@ -17,6 +17,9 @@
 //! * [`functional`] — run real numbers through the optical path and check
 //!   them against digital convolution.
 //! * [`schedule`] — static VLIW-style instruction scheduling (§7.1).
+//! * [`error`] — the unified [`SimError`](error::SimError) hierarchy.
+//! * [`campaign`] — fault-injection campaign runner over the functional
+//!   conv path.
 //!
 //! ```
 //! use refocus_arch::config::AcceleratorConfig;
@@ -25,7 +28,7 @@
 //!
 //! let report = simulate(&models::resnet18(), &AcceleratorConfig::refocus_fb())?;
 //! assert!(report.metrics.fps_per_watt() > 100.0);
-//! # Ok::<(), refocus_nn::tiling::TilingError>(())
+//! # Ok::<(), refocus_arch::error::SimError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -34,10 +37,12 @@
 pub mod ablation;
 pub mod area;
 pub mod baselines;
+pub mod campaign;
 pub mod config;
 pub mod dataflow;
 pub mod dse;
 pub mod energy;
+pub mod error;
 pub mod functional;
 pub mod metrics;
 pub mod perf;
@@ -45,5 +50,7 @@ pub mod rfcu;
 pub mod schedule;
 pub mod simulator;
 
+pub use campaign::{CampaignReport, FaultCampaign};
 pub use config::{AcceleratorConfig, OpticalBufferKind};
-pub use simulator::{simulate, simulate_suite, Report, SuiteReport};
+pub use error::SimError;
+pub use simulator::{simulate, simulate_suite, Degradation, Report, SuiteReport};

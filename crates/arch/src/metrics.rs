@@ -3,6 +3,17 @@
 //! PAP ("power-efficiency-area-efficiency product") is the paper's custom
 //! design-space metric: `FPS/W × FPS/mm²`. EDP is energy-delay product per
 //! inference; the paper reports its inverse (bigger = better).
+//!
+//! # Finiteness
+//!
+//! Every [`Metrics`] produced by the simulator is finite and positive:
+//! `simulate` rejects empty networks (zero latency) and invalid
+//! configurations (zero batch, zero area) with
+//! [`SimError`](crate::error::SimError) before a report exists, and the
+//! energy model charges at least laser + leakage on any non-empty
+//! network. The derived ratios below therefore never see a zero
+//! denominator on simulator output; on hand-built `Metrics` they follow
+//! IEEE-754 (`x / 0.0 == inf`, `0.0 / 0.0 == NaN`).
 
 use serde::{Deserialize, Serialize};
 
@@ -141,5 +152,31 @@ mod tests {
     #[should_panic(expected = "positive values")]
     fn non_positive_geomean_panics() {
         let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn simulator_metrics_are_finite_and_positive() {
+        use crate::config::AcceleratorConfig;
+        use crate::simulator::simulate;
+        use refocus_nn::models;
+        let m = simulate(&models::resnet18(), &AcceleratorConfig::refocus_fb())
+            .unwrap()
+            .metrics;
+        for v in [
+            m.fps,
+            m.power_w,
+            m.area_mm2,
+            m.latency_s,
+            m.energy_j,
+            m.fps_per_watt(),
+            m.fps_per_mm2(),
+            m.pap(),
+            m.edp(),
+            m.inverse_edp(),
+            m.tops(),
+            m.tops_per_watt(),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{m:?}");
+        }
     }
 }

@@ -73,8 +73,7 @@ impl LayerPerf {
             config.tile,
             config.tiling_mode,
         )?;
-        let channel_iterations =
-            (layer.in_channels as u64).div_ceil(config.wavelengths as u64);
+        let channel_iterations = (layer.in_channels as u64).div_ceil(config.wavelengths as u64);
         let filter_iterations = (layer.out_channels as u64).div_ceil(config.rfcus as u64)
             * PSEUDO_NEGATIVE_LATENCY_FACTOR as u64;
         let batch = config.batch.max(1) as u64;
@@ -103,8 +102,7 @@ impl LayerPerf {
             input_uses,
             effective_ta,
             input_duty: plan.input_conversions_per_pass as f64 / config.tile as f64,
-            weight_duty: plan.weight_conversions_per_pass as f64
-                / config.weight_waveguides as f64,
+            weight_duty: plan.weight_conversions_per_pass as f64 / config.weight_waveguides as f64,
             valid_output_fraction: (valid_elems as f64 / config.tile as f64).min(1.0),
             weight_load_fraction,
             images: batch,
@@ -261,10 +259,7 @@ mod tests {
         // Sanity anchor: JTC-based systems reach thousands of FPS on
         // ResNet-scale networks (PhotoFourier reports O(1e3-1e4)).
         let cfg = AcceleratorConfig::refocus_ff();
-        for (net, lo, hi) in [
-            (models::resnet18(), 2e3, 3e5),
-            (models::vgg16(), 5e2, 1e5),
-        ] {
+        for (net, lo, hi) in [(models::resnet18(), 2e3, 3e5), (models::vgg16(), 5e2, 1e5)] {
             let fps = NetworkPerf::analyze(&net, &cfg).unwrap().fps(&cfg);
             assert!((lo..hi).contains(&fps), "{}: {fps}", net.name());
         }

@@ -150,15 +150,21 @@ impl Schedule {
     /// `(chunk, group)` generated exactly `delay` cycles earlier.
     pub fn verify_fifo(&self) -> bool {
         for (idx, slot) in self.slots.iter().enumerate() {
-            if let InputOp::Reuse { chunk, group, delay } = slot.input {
+            if let InputOp::Reuse {
+                chunk,
+                group,
+                delay,
+            } = slot.input
+            {
                 let Some(src) = idx.checked_sub(delay as usize) else {
                     return false;
                 };
                 let origin = &self.slots[src];
                 let matches = match origin.input {
-                    InputOp::Generate { chunk: c, group: g } | InputOp::Reuse { chunk: c, group: g, .. } => {
-                        c == chunk && g == group
-                    }
+                    InputOp::Generate { chunk: c, group: g }
+                    | InputOp::Reuse {
+                        chunk: c, group: g, ..
+                    } => c == chunk && g == group,
                 };
                 if !matches {
                     return false;

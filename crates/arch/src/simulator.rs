@@ -6,13 +6,30 @@
 //! evaluation in the paper's §6.
 
 use crate::area::{area_breakdown, AreaBreakdown};
-use crate::config::AcceleratorConfig;
+use crate::config::{AcceleratorConfig, OpticalBufferKind};
 use crate::energy::{EnergyBreakdown, EnergyModel, EnergyOptions};
+use crate::error::SimError;
 use crate::metrics::{geomean, Metrics};
 use crate::perf::NetworkPerf;
 use refocus_nn::layer::Network;
-use refocus_nn::tiling::TilingError;
 use serde::{Deserialize, Serialize};
+
+/// Record of a graceful-degradation fallback the scheduler applied to keep
+/// an otherwise-infeasible configuration runnable (§5.4.2): the feedback
+/// reuse count is lowered to the largest value whose replay dynamic range
+/// still fits the photodetector/ADC budget, relying on the hardware-aware
+/// weight rescaling to keep results exact at the reduced reuse depth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Feedback reuses the configuration asked for.
+    pub requested_reuses: u32,
+    /// Feedback reuses actually simulated.
+    pub applied_reuses: u32,
+    /// Replay dynamic range the requested configuration would have needed.
+    pub requested_dynamic_range: f64,
+    /// Replay dynamic range after the fallback.
+    pub applied_dynamic_range: f64,
+}
 
 /// The full result of simulating one network on one configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,27 +46,98 @@ pub struct Report {
     pub area: AreaBreakdown,
     /// Derived efficiency metrics.
     pub metrics: Metrics,
+    /// Present when the scheduler degraded the configuration to keep its
+    /// dynamic range feasible; `None` for configurations that ran as asked.
+    pub degradation: Option<Degradation>,
+}
+
+/// Resolves an infeasible-dynamic-range configuration to a runnable one.
+///
+/// Returns `Ok(None)` when `config` is feasible as-is, or
+/// `Ok(Some((degraded_config, record)))` when lowering the feedback reuse
+/// count restores feasibility.
+///
+/// # Errors
+///
+/// Returns [`SimError::DynamicRange`] when no fallback exists — the buffer
+/// is not a feedback buffer, or even one reuse through the configured delay
+/// line overruns the detector budget.
+fn resolve_dynamic_range(
+    config: &AcceleratorConfig,
+) -> Result<Option<(AcceleratorConfig, Degradation)>, SimError> {
+    if config.dynamic_range_feasible() {
+        return Ok(None);
+    }
+    let supported = refocus_photonics::components::Photodetector::new().dynamic_range();
+    let requested_dynamic_range = config.signal_dynamic_range();
+    let OpticalBufferKind::FeedBack { reuses } = config.optical_buffer else {
+        return Err(SimError::DynamicRange {
+            required: requested_dynamic_range,
+            supported,
+        });
+    };
+    // Dynamic range grows monotonically with R (at optimal split), so the
+    // first feasible value walking down is the largest feasible one.
+    for applied in (1..reuses).rev() {
+        let candidate = AcceleratorConfig {
+            optical_buffer: OpticalBufferKind::FeedBack { reuses: applied },
+            ..config.clone()
+        };
+        if candidate.dynamic_range_feasible() {
+            let record = Degradation {
+                requested_reuses: reuses,
+                applied_reuses: applied,
+                requested_dynamic_range,
+                applied_dynamic_range: candidate.signal_dynamic_range(),
+            };
+            return Ok(Some((candidate, record)));
+        }
+    }
+    Err(SimError::DynamicRange {
+        required: requested_dynamic_range,
+        supported,
+    })
 }
 
 /// Simulates `network` on `config` with default energy options.
 ///
 /// # Errors
 ///
-/// Returns [`TilingError`] if any layer cannot map onto the configured JTC.
-pub fn simulate(network: &Network, config: &AcceleratorConfig) -> Result<Report, TilingError> {
+/// Returns [`SimError::Config`] for an invalid configuration,
+/// [`SimError::EmptyNetwork`] for a network with no layers,
+/// [`SimError::Tiling`] if a layer cannot map onto the configured JTC, and
+/// [`SimError::DynamicRange`] if the optical buffer's replay spread cannot
+/// be made feasible even by lowering the reuse count.
+pub fn simulate(network: &Network, config: &AcceleratorConfig) -> Result<Report, SimError> {
     simulate_with_options(network, config, EnergyOptions::default())
 }
 
 /// Simulates with explicit [`EnergyOptions`].
 ///
+/// The configuration is validated up front, and an infeasible feedback
+/// dynamic range degrades gracefully to the largest feasible reuse count
+/// (recorded in [`Report::degradation`]) rather than producing meaningless
+/// numbers or panicking deep inside the models.
+///
 /// # Errors
 ///
-/// Returns [`TilingError`] if any layer cannot map onto the configured JTC.
+/// Same conditions as [`simulate`].
 pub fn simulate_with_options(
     network: &Network,
     config: &AcceleratorConfig,
     options: EnergyOptions,
-) -> Result<Report, TilingError> {
+) -> Result<Report, SimError> {
+    config.validate()?;
+    if network.layers().is_empty() {
+        return Err(SimError::EmptyNetwork {
+            network: network.name().to_string(),
+        });
+    }
+    let resolved = resolve_dynamic_range(config)?;
+    let (config, degradation) = match &resolved {
+        Some((degraded, record)) => (degraded, Some(*record)),
+        None => (config, None),
+    };
     let perf = NetworkPerf::analyze(network, config)?;
     let model = EnergyModel::with_options(config, options);
     let energy = model.network_energy(network, &perf);
@@ -71,6 +159,7 @@ pub fn simulate_with_options(
         energy,
         area,
         metrics,
+        degradation,
     })
 }
 
@@ -84,53 +173,59 @@ pub struct SuiteReport {
 }
 
 impl SuiteReport {
-    /// Geomean FPS across the suite.
+    /// Geomean over `f(report)`; 0.0 for a report-less suite (a hand-built
+    /// empty `SuiteReport` — [`simulate_suite`] itself refuses empty suites
+    /// with [`SimError::EmptySuite`], so this default marks "no data"
+    /// without poisoning downstream arithmetic with NaN).
+    fn geomean_of(&self, f: impl Fn(&Report) -> f64) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        geomean(&self.reports.iter().map(f).collect::<Vec<_>>())
+    }
+
+    /// Geomean FPS across the suite (0.0 if the suite has no reports).
     pub fn geomean_fps(&self) -> f64 {
-        geomean(&self.reports.iter().map(|r| r.metrics.fps).collect::<Vec<_>>())
+        self.geomean_of(|r| r.metrics.fps)
     }
 
-    /// Geomean FPS/W across the suite.
+    /// Geomean FPS/W across the suite (0.0 if the suite has no reports).
     pub fn geomean_fps_per_watt(&self) -> f64 {
-        geomean(
-            &self
-                .reports
-                .iter()
-                .map(|r| r.metrics.fps_per_watt())
-                .collect::<Vec<_>>(),
-        )
+        self.geomean_of(|r| r.metrics.fps_per_watt())
     }
 
-    /// Geomean FPS/mm² across the suite.
+    /// Geomean FPS/mm² across the suite (0.0 if the suite has no reports).
     pub fn geomean_fps_per_mm2(&self) -> f64 {
-        geomean(
-            &self
-                .reports
-                .iter()
-                .map(|r| r.metrics.fps_per_mm2())
-                .collect::<Vec<_>>(),
-        )
+        self.geomean_of(|r| r.metrics.fps_per_mm2())
     }
 
-    /// Geomean PAP across the suite.
+    /// Geomean PAP across the suite (0.0 if the suite has no reports).
     pub fn geomean_pap(&self) -> f64 {
-        geomean(&self.reports.iter().map(|r| r.metrics.pap()).collect::<Vec<_>>())
+        self.geomean_of(|r| r.metrics.pap())
     }
 
-    /// Geomean inverse EDP across the suite.
+    /// Geomean inverse EDP across the suite (0.0 if the suite has no
+    /// reports).
     pub fn geomean_inverse_edp(&self) -> f64 {
-        geomean(
-            &self
-                .reports
-                .iter()
-                .map(|r| r.metrics.inverse_edp())
-                .collect::<Vec<_>>(),
-        )
+        self.geomean_of(|r| r.metrics.inverse_edp())
     }
 
     /// Arithmetic-mean power across the suite (how §6.1 reports "average
-    /// system power").
+    /// system power"); 0.0 if the suite has no reports.
     pub fn mean_power_w(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
         self.reports.iter().map(|r| r.metrics.power_w).sum::<f64>() / self.reports.len() as f64
+    }
+
+    /// Degradation records from every network whose configuration was
+    /// degraded, paired with the network name.
+    pub fn degradations(&self) -> Vec<(&str, &Degradation)> {
+        self.reports
+            .iter()
+            .filter_map(|r| r.degradation.as_ref().map(|d| (r.network_name.as_str(), d)))
+            .collect()
     }
 
     /// The report for a named network, if present.
@@ -143,11 +238,15 @@ impl SuiteReport {
 ///
 /// # Errors
 ///
-/// Returns the first mapping error encountered.
+/// Returns [`SimError::EmptySuite`] for an empty suite, otherwise the
+/// first [`SimError`] any network's simulation produces.
 pub fn simulate_suite(
     suite: &[Network],
     config: &AcceleratorConfig,
-) -> Result<SuiteReport, TilingError> {
+) -> Result<SuiteReport, SimError> {
+    if suite.is_empty() {
+        return Err(SimError::EmptySuite);
+    }
     let reports = suite
         .iter()
         .map(|net| simulate(net, config))
@@ -197,7 +296,10 @@ mod tests {
         let base = simulate_suite(&suite, &AcceleratorConfig::photofourier_baseline()).unwrap();
         let fb = simulate_suite(&suite, &AcceleratorConfig::refocus_fb()).unwrap();
         let fps_ratio = fb.geomean_fps() / base.geomean_fps();
-        assert!((1.8..2.2).contains(&fps_ratio), "FPS ratio = {fps_ratio} (paper ~2)");
+        assert!(
+            (1.8..2.2).contains(&fps_ratio),
+            "FPS ratio = {fps_ratio} (paper ~2)"
+        );
         let eff_ratio = fb.geomean_fps_per_watt() / base.geomean_fps_per_watt();
         assert!(
             (1.6..3.4).contains(&eff_ratio),
@@ -212,7 +314,98 @@ mod tests {
         let base = simulate_suite(&suite, &AcceleratorConfig::photofourier_baseline()).unwrap();
         let fb = simulate_suite(&suite, &AcceleratorConfig::refocus_fb()).unwrap();
         let ratio = fb.geomean_fps_per_mm2() / base.geomean_fps_per_mm2();
-        assert!((1.1..1.7).contains(&ratio), "FPS/mm2 ratio = {ratio} (paper 1.36)");
+        assert!(
+            (1.1..1.7).contains(&ratio),
+            "FPS/mm2 ratio = {ratio} (paper 1.36)"
+        );
+    }
+
+    #[test]
+    fn reports_have_no_degradation_for_feasible_configs() {
+        let r = simulate(&models::resnet18(), &AcceleratorConfig::refocus_fb()).unwrap();
+        assert_eq!(r.degradation, None);
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_any_model_runs() {
+        let mut cfg = AcceleratorConfig::refocus_fb();
+        cfg.rfcus = 0;
+        let err = simulate(&models::resnet18(), &cfg).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        // `Network::new` refuses empty layer lists, but deserialized
+        // networks bypass it — the simulator must still catch them.
+        let net: refocus_nn::layer::Network =
+            serde_json::from_str(r#"{"name":"empty-net","layers":[]}"#).unwrap();
+        let err = simulate(&net, &AcceleratorConfig::refocus_fb()).unwrap_err();
+        assert!(
+            matches!(err, SimError::EmptyNetwork { ref network } if network == "empty-net"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_suite_rejected_without_panicking() {
+        let err = simulate_suite(&[], &AcceleratorConfig::refocus_fb()).unwrap_err();
+        assert_eq!(err, SimError::EmptySuite);
+    }
+
+    #[test]
+    fn infeasible_reuse_degrades_to_max_feasible_and_records_it() {
+        // R = 200 at optimal split spreads replays far beyond the 256x
+        // detector budget; the scheduler must fall back, not fail.
+        let cfg = AcceleratorConfig {
+            optical_buffer: OpticalBufferKind::FeedBack { reuses: 200 },
+            ..AcceleratorConfig::refocus_fb()
+        };
+        assert!(!cfg.dynamic_range_feasible());
+        let r = simulate(&models::resnet18(), &cfg).unwrap();
+        let d = r.degradation.expect("fallback must be recorded");
+        assert_eq!(d.requested_reuses, 200);
+        assert!(d.applied_reuses >= 1 && d.applied_reuses < 200);
+        assert!(d.applied_dynamic_range <= 256.0);
+        assert!(d.requested_dynamic_range > 256.0);
+        // Maximality: one more reuse would have been infeasible again.
+        let plus_one = AcceleratorConfig {
+            optical_buffer: OpticalBufferKind::FeedBack {
+                reuses: d.applied_reuses + 1,
+            },
+            ..AcceleratorConfig::refocus_fb()
+        };
+        assert!(!plus_one.dynamic_range_feasible());
+    }
+
+    #[test]
+    fn unrecoverable_dynamic_range_is_a_typed_error() {
+        // A delay line thousands of cycles long is so lossy that even a
+        // single reuse overruns the detector budget: nothing to degrade to.
+        let cfg = AcceleratorConfig {
+            optical_buffer: OpticalBufferKind::FeedBack { reuses: 1 },
+            delay_cycles: 60_000,
+            temporal_accumulation: 16,
+            ..AcceleratorConfig::refocus_fb()
+        };
+        assert!(cfg.validate().is_ok());
+        let err = simulate(&models::resnet18(), &cfg).unwrap_err();
+        assert!(
+            matches!(err, SimError::DynamicRange { required, supported }
+                if required > supported),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn suite_surfaces_degradations() {
+        let cfg = AcceleratorConfig {
+            optical_buffer: OpticalBufferKind::FeedBack { reuses: 200 },
+            ..AcceleratorConfig::refocus_fb()
+        };
+        let suite = [models::resnet18(), models::alexnet()];
+        let s = simulate_suite(&suite, &cfg).unwrap();
+        assert_eq!(s.degradations().len(), 2);
     }
 
     #[test]

@@ -9,16 +9,14 @@ use refocus_nn::layer::{ConvSpec, Network};
 
 fn arbitrary_layer() -> impl Strategy<Value = ConvSpec> {
     (
-        1usize..256,           // in channels
-        1usize..512,           // out channels
+        1usize..256, // in channels
+        1usize..512, // out channels
         prop::sample::select(vec![1usize, 3, 5]),
-        1usize..3,             // stride
-        0usize..2,             // padding
+        1usize..3, // stride
+        0usize..2, // padding
         prop::sample::select(vec![7usize, 14, 28, 56]),
     )
-        .prop_map(|(ic, oc, k, s, p, hw)| {
-            ConvSpec::new("prop", ic, oc, k, s, p, (hw, hw))
-        })
+        .prop_map(|(ic, oc, k, s, p, hw)| ConvSpec::new("prop", ic, oc, k, s, p, (hw, hw)))
 }
 
 fn variant_config(

@@ -59,7 +59,11 @@ fn bench_tiling(c: &mut Criterion) {
     let input: Vec<Vec<f64>> = (0..32)
         .map(|y| (0..32).map(|x| ((x * 7 + y) % 13) as f64 / 13.0).collect())
         .collect();
-    let kernel = vec![vec![0.1, 0.2, 0.1], vec![0.2, 0.4, 0.2], vec![0.1, 0.2, 0.1]];
+    let kernel = vec![
+        vec![0.1, 0.2, 0.1],
+        vec![0.2, 0.4, 0.2],
+        vec![0.1, 0.2, 0.1],
+    ];
     c.bench_function("tiled_conv2d_32x32_k3_t256", |b| {
         b.iter(|| tiled_conv2d_valid(&input, &kernel, 256, TilingMode::Exact).unwrap())
     });

@@ -18,7 +18,7 @@
 //! let report = Accelerator::refocus_fb().run(&models::resnet18())?;
 //! println!("{:.0} FPS at {:.1} W", report.metrics.fps, report.metrics.power_w);
 //! assert!(report.metrics.fps_per_watt() > 100.0);
-//! # Ok::<(), refocus_core::nn::tiling::TilingError>(())
+//! # Ok::<(), refocus_core::arch::error::SimError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -31,9 +31,9 @@ pub use refocus_photonics as photonics;
 
 use refocus_arch::config::{AcceleratorConfig, OpticalBufferKind};
 use refocus_arch::energy::EnergyOptions;
+use refocus_arch::error::SimError;
 use refocus_arch::simulator::{simulate_with_options, Report, SuiteReport};
 use refocus_nn::layer::Network;
-use refocus_nn::tiling::TilingError;
 
 /// Builder-style front door to the simulator.
 ///
@@ -49,7 +49,7 @@ use refocus_nn::tiling::TilingError;
 ///     .with_weight_compression(4.5);
 /// let report = acc.run(&models::alexnet())?;
 /// assert!(report.metrics.fps > 0.0);
-/// # Ok::<(), refocus_core::nn::tiling::TilingError>(())
+/// # Ok::<(), refocus_core::arch::error::SimError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Accelerator {
@@ -157,8 +157,11 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Returns [`TilingError`] if a layer cannot map onto the JTC.
-    pub fn run(&self, network: &Network) -> Result<Report, TilingError> {
+    /// Returns [`SimError`]: `Config` when the configuration is invalid,
+    /// `Tiling` when a layer cannot map onto the JTC, `DynamicRange` when
+    /// the optical buffer overruns the detector budget with no feasible
+    /// fallback, and `EmptyNetwork` for a network with no layers.
+    pub fn run(&self, network: &Network) -> Result<Report, SimError> {
         simulate_with_options(network, &self.config, self.options)
     }
 
@@ -166,8 +169,12 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Returns the first mapping error.
-    pub fn run_suite(&self, suite: &[Network]) -> Result<SuiteReport, TilingError> {
+    /// Returns [`SimError::EmptySuite`] for an empty suite, otherwise the
+    /// first per-network error (see [`Accelerator::run`]).
+    pub fn run_suite(&self, suite: &[Network]) -> Result<SuiteReport, SimError> {
+        if suite.is_empty() {
+            return Err(SimError::EmptySuite);
+        }
         let reports = suite
             .iter()
             .map(|net| self.run(net))

@@ -50,7 +50,15 @@ pub fn run() -> Experiment {
     let rows = batch_study(&models::resnet34(), &[1, 2, 4, 8, 16]).expect("maps");
     let mut batch = Table::new(
         "weight-stationary batching vs optical reuse (ResNet-34)",
-        &["batch", "reuse", "FPS", "W", "FPS/W", "weight-DAC W", "input-DAC W"],
+        &[
+            "batch",
+            "reuse",
+            "FPS",
+            "W",
+            "FPS/W",
+            "weight-DAC W",
+            "input-DAC W",
+        ],
     );
     for r in &rows {
         batch.push_row(vec![

@@ -74,7 +74,10 @@ pub fn converter_reduction() -> f64 {
 
 /// Regenerates Fig. 10.
 pub fn run() -> Experiment {
-    let mut e = Experiment::new("fig10", "Fig. 10: FPS/W vs cumulative optimizations (ResNet-34)");
+    let mut e = Experiment::new(
+        "fig10",
+        "Fig. 10: FPS/W vs cumulative optimizations (ResNet-34)",
+    );
     for (name, buffer) in [
         ("ReFOCUS-FF", OpticalBufferKind::FeedForward),
         ("ReFOCUS-FB", OpticalBufferKind::FeedBack { reuses: 15 }),

@@ -28,7 +28,10 @@ pub struct Bar {
 pub fn compute() -> Vec<Bar> {
     let net = models::resnet50();
     let mut bars = Vec::new();
-    for cfg in [AcceleratorConfig::refocus_ff(), AcceleratorConfig::refocus_fb()] {
+    for cfg in [
+        AcceleratorConfig::refocus_ff(),
+        AcceleratorConfig::refocus_fb(),
+    ] {
         let r = simulate(&net, &cfg).expect("ResNet-50 maps");
         bars.push(Bar {
             name: cfg.name.clone(),
@@ -38,7 +41,9 @@ pub fn compute() -> Vec<Bar> {
         });
     }
     for acc in fig12_accelerators() {
-        let c = acc.on("ResNet-50").expect("all Fig. 12 systems report ResNet-50");
+        let c = acc
+            .on("ResNet-50")
+            .expect("all Fig. 12 systems report ResNet-50");
         bars.push(Bar {
             name: acc.name.to_string(),
             fps: c.fps,

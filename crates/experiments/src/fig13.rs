@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn advantage_over_albireo_order_of_magnitude() {
         let adv = max_advantage_over("Albireo");
-        assert!((8.0..80.0).contains(&adv), "advantage = {adv} (paper up to 25x)");
+        assert!(
+            (8.0..80.0).contains(&adv),
+            "advantage = {adv} (paper up to 25x)"
+        );
     }
 
     #[test]
@@ -122,6 +125,9 @@ mod tests {
         let albireo = max_advantage_over("Albireo");
         let holylight = max_advantage_over("HolyLight-m");
         assert!(holylight > albireo);
-        assert!((50.0..500.0).contains(&holylight), "holylight = {holylight} (paper up to 145x)");
+        assert!(
+            (50.0..500.0).contains(&holylight),
+            "holylight = {holylight} (paper up to 145x)"
+        );
     }
 }

@@ -65,7 +65,11 @@ pub fn run() -> Experiment {
             sched.cycles(),
             sched.generation_cycles(),
             sched.readouts(),
-            if sched.verify_fifo() { "holds" } else { "VIOLATED" }
+            if sched.verify_fifo() {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ))
         .with_note(
             "pattern matches the paper's figure: M generation cycles (OS, temporal \

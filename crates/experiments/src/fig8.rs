@@ -38,7 +38,11 @@ mod tests {
     use super::*;
 
     fn share(shares: &[(&str, f64)], label: &str) -> f64 {
-        shares.iter().find(|(l, _)| *l == label).map(|(_, v)| *v).unwrap_or(0.0)
+        shares
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
     }
 
     #[test]
@@ -53,7 +57,10 @@ mod tests {
     #[test]
     fn dac_still_largest_in_both() {
         // §6.1: "In both systems, DAC still consumes the most power."
-        for cfg in [AcceleratorConfig::refocus_ff(), AcceleratorConfig::refocus_fb()] {
+        for cfg in [
+            AcceleratorConfig::refocus_ff(),
+            AcceleratorConfig::refocus_fb(),
+        ] {
             let (_, shares) = power_shares(&cfg);
             let dac = share(&shares, "input DAC") + share(&shares, "weight DAC");
             for (label, v) in &shares {

@@ -23,6 +23,7 @@
 //! | [`fig13`] | Fig. 13 — vs photonic/digital/RRAM (3 CNNs) |
 //! | [`sec7_3`] | §7.3 — weight sharing + channel reordering |
 //! | [`ablations`] | extensions: slow light (§7.5), batching, WDM walk-off (§4.2.3), HBM3 (§7.3) |
+//! | [`fault_study`] | extension: fault-injection campaign (error vs severity) |
 //! | [`summary`] | headline reproduction scorecard |
 //!
 //! The `report` binary prints everything:
@@ -32,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod fault_study;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -73,6 +75,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         fig13::run(),
         sec7_3::run(),
         ablations::run(),
+        fault_study::run(),
         summary::run(),
     ]
 }
@@ -89,7 +92,7 @@ mod tests {
     #[test]
     fn all_experiments_render() {
         let all = all_experiments();
-        assert_eq!(all.len(), 18);
+        assert_eq!(all.len(), 19);
         for e in &all {
             let text = e.render();
             assert!(text.contains(&e.title), "{}", e.id);

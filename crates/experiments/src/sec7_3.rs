@@ -59,9 +59,9 @@ pub fn compute() -> Study {
     let ff34 = simulate(&models::resnet34(), &ff).expect("maps");
     let opts = EnergyOptions {
         weight_dac_load_factor: 1.0 - reorder_reduction,
+        ..EnergyOptions::default()
     };
-    let ff34_opt =
-        simulate_with_options(&models::resnet34(), &ff, opts).expect("maps");
+    let ff34_opt = simulate_with_options(&models::resnet34(), &ff, opts).expect("maps");
     let system_power_reduction = 1.0 - ff34_opt.metrics.power_w / ff34.metrics.power_w;
 
     Study {
@@ -76,7 +76,10 @@ pub fn compute() -> Study {
 /// Regenerates the §7.3 numbers.
 pub fn run() -> Experiment {
     let s = compute();
-    let mut t = Table::new("DRAM, weight sharing, channel reordering", &["quantity", "measured", "paper"]);
+    let mut t = Table::new(
+        "DRAM, weight sharing, channel reordering",
+        &["quantity", "measured", "paper"],
+    );
     t.push_row(vec![
         "DRAM share of FB power (HBM2)".into(),
         format!("{:.1}%", s.dram_share * 100.0),
@@ -102,7 +105,11 @@ pub fn run() -> Experiment {
         format!("{:.1}%", s.system_power_reduction * 100.0),
         "~4.7%".into(),
     ]);
-    Experiment::new("sec7_3", "Sec. 7.3: DRAM, weight sharing, channel reordering").with_table(t)
+    Experiment::new(
+        "sec7_3",
+        "Sec. 7.3: DRAM, weight sharing, channel reordering",
+    )
+    .with_table(t)
 }
 
 #[cfg(test)]
@@ -118,7 +125,11 @@ mod tests {
     #[test]
     fn compression_near_4_5x() {
         let s = compute();
-        assert!((3.4..4.7).contains(&s.compression_ratio), "ratio = {}", s.compression_ratio);
+        assert!(
+            (3.4..4.7).contains(&s.compression_ratio),
+            "ratio = {}",
+            s.compression_ratio
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub fn compute() -> Scorecard {
 /// Regenerates the scorecard.
 pub fn run() -> Experiment {
     let s = compute();
-    let mut t = Table::new("headline reproduction scorecard", &["claim", "paper", "measured"]);
+    let mut t = Table::new(
+        "headline reproduction scorecard",
+        &["claim", "paper", "measured"],
+    );
     t.push_row(vec![
         "FB vs baseline throughput".into(),
         "2x".into(),

@@ -40,7 +40,14 @@ fn table_for(name: &str, rows: &[DseRow], paper: &[(u32, usize, f64, f64, f64)])
     let mut t = Table::new(
         format!("{name}: sweep of delay length M (relative to M=1)"),
         &[
-            "M", "N_RFCU", "FPS/W", "FPS/mm^2", "PAP", "paper N", "paper FPS/W", "paper PAP",
+            "M",
+            "N_RFCU",
+            "FPS/W",
+            "FPS/mm^2",
+            "PAP",
+            "paper N",
+            "paper FPS/W",
+            "paper PAP",
         ],
     );
     for (row, p) in rows.iter().zip(paper) {

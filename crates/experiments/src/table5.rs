@@ -80,10 +80,13 @@ pub fn run() -> Experiment {
             fmt_f(pdr),
         ]);
     }
-    Experiment::new("table5", "Table 5: feedback-buffer laser power & dynamic range")
-        .with_table(t1)
-        .with_table(t2)
-        .with_note("R = 15 with optimal alpha keeps both under 4x — the ReFOCUS-FB choice")
+    Experiment::new(
+        "table5",
+        "Table 5: feedback-buffer laser power & dynamic range",
+    )
+    .with_table(t1)
+    .with_table(t2)
+    .with_note("R = 15 with optimal alpha keeps both under 4x — the ReFOCUS-FB choice")
 }
 
 #[cfg(test)]
@@ -94,7 +97,12 @@ mod tests {
     fn optimal_alpha_matches_paper_within_2_percent() {
         for (row, paper) in compute(true).iter().zip(PAPER_OPTIMAL) {
             let rel = (row.relative_laser_power - paper).abs() / paper;
-            assert!(rel < 0.02, "R={}: {} vs {paper}", row.reuses, row.relative_laser_power);
+            assert!(
+                rel < 0.02,
+                "R={}: {} vs {paper}",
+                row.reuses,
+                row.relative_laser_power
+            );
             let rel = (row.dynamic_range - paper).abs() / paper;
             assert!(rel < 0.02, "R={} DR", row.reuses);
         }
@@ -104,9 +112,19 @@ mod tests {
     fn half_alpha_matches_paper_within_7_percent() {
         for (row, (plp, pdr)) in compute(false).iter().zip(PAPER_HALF) {
             let rel = (row.relative_laser_power - plp).abs() / plp;
-            assert!(rel < 0.07, "R={}: LP {} vs {plp}", row.reuses, row.relative_laser_power);
+            assert!(
+                rel < 0.07,
+                "R={}: LP {} vs {plp}",
+                row.reuses,
+                row.relative_laser_power
+            );
             let rel = (row.dynamic_range - pdr).abs() / pdr;
-            assert!(rel < 0.07, "R={}: DR {} vs {pdr}", row.reuses, row.dynamic_range);
+            assert!(
+                rel < 0.07,
+                "R={}: DR {} vs {pdr}",
+                row.reuses,
+                row.dynamic_range
+            );
         }
     }
 

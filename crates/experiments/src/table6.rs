@@ -11,7 +11,10 @@ use refocus_photonics::units::GigaHertz;
 
 /// Regenerates Table 6.
 pub fn run() -> Experiment {
-    let mut power = Table::new("active component power", &["component", "power (mW)", "paper"]);
+    let mut power = Table::new(
+        "active component power",
+        &["component", "power (mW)", "paper"],
+    );
     power.push_row(vec![
         "MRR".into(),
         fmt_f(Mrr::new().power().value()),
@@ -33,7 +36,10 @@ pub fn run() -> Experiment {
         "35.71".into(),
     ]);
 
-    let mut area = Table::new("photonic component area", &["component", "area (um^2)", "paper"]);
+    let mut area = Table::new(
+        "photonic component area",
+        &["component", "area (um^2)", "paper"],
+    );
     area.push_row(vec![
         "MRR".into(),
         fmt_f(Mrr::new().area().value()),

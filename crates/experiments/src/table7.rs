@@ -32,9 +32,18 @@ pub fn reuse_of(config: &AcceleratorConfig) -> ReuseRow {
 /// Regenerates Table 7.
 pub fn run() -> Experiment {
     let rows = [
-        (reuse_of(&AcceleratorConfig::photofourier_baseline()), "16x / N/A / N/A / 16x"),
-        (reuse_of(&AcceleratorConfig::refocus_ff()), "16x / 2x / 2x / 16x"),
-        (reuse_of(&AcceleratorConfig::refocus_fb()), "16x / 16x / 2x / 16x"),
+        (
+            reuse_of(&AcceleratorConfig::photofourier_baseline()),
+            "16x / N/A / N/A / 16x",
+        ),
+        (
+            reuse_of(&AcceleratorConfig::refocus_ff()),
+            "16x / 2x / 2x / 16x",
+        ),
+        (
+            reuse_of(&AcceleratorConfig::refocus_fb()),
+            "16x / 16x / 2x / 16x",
+        ),
     ];
     let mut t = Table::new(
         "potential reuse per optimization",
@@ -44,8 +53,7 @@ pub fn run() -> Experiment {
         t.push_row(vec![
             row.name.clone(),
             format!("{}x", row.broadcast),
-            row.optical_buffer
-                .map_or("N/A".into(), |v| format!("{v}x")),
+            row.optical_buffer.map_or("N/A".into(), |v| format!("{v}x")),
             row.wdm.map_or("N/A".into(), |v| format!("{v}x")),
             format!("{}x", row.temporal_accumulation),
             paper.into(),

@@ -86,9 +86,8 @@ mod tests {
     #[test]
     fn hbm3_halves_energy() {
         assert!(
-            (Dram::hbm3().energy_per_byte().value() * 2.0
-                - Dram::hbm2().energy_per_byte().value())
-            .abs()
+            (Dram::hbm3().energy_per_byte().value() * 2.0 - Dram::hbm2().energy_per_byte().value())
+                .abs()
                 < 1e-12
         );
     }

@@ -107,9 +107,7 @@ impl Sram {
 
     /// Macro area.
     pub fn area(&self) -> SquareMillimeters {
-        SquareMillimeters::new(
-            self.capacity_bytes as f64 / MIB as f64 * self.density_mm2_per_mib,
-        )
+        SquareMillimeters::new(self.capacity_bytes as f64 / MIB as f64 * self.density_mm2_per_mib)
     }
 
     /// Static leakage power.

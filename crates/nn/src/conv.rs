@@ -50,7 +50,12 @@ impl std::error::Error for ConvError {}
 /// Output spatial size of a convolution: `(in + 2*pad - k) / stride + 1`.
 ///
 /// Returns `None` when the kernel does not fit.
-pub fn conv_output_size(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+pub fn conv_output_size(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Option<usize> {
     let padded = input + 2 * padding;
     if kernel > padded || stride == 0 {
         return None;
@@ -95,18 +100,16 @@ pub fn conv2d(
         });
     }
     let (kh, kw) = (weights.kernel_h(), weights.kernel_w());
-    let out_h = conv_output_size(input.height(), kh, stride, padding).ok_or(
-        ConvError::KernelTooLarge {
+    let out_h =
+        conv_output_size(input.height(), kh, stride, padding).ok_or(ConvError::KernelTooLarge {
             input: (input.height() + 2 * padding, input.width() + 2 * padding),
             kernel: (kh, kw),
-        },
-    )?;
-    let out_w = conv_output_size(input.width(), kw, stride, padding).ok_or(
-        ConvError::KernelTooLarge {
+        })?;
+    let out_w =
+        conv_output_size(input.width(), kw, stride, padding).ok_or(ConvError::KernelTooLarge {
             input: (input.height() + 2 * padding, input.width() + 2 * padding),
             kernel: (kh, kw),
-        },
-    )?;
+        })?;
 
     let mut out = Tensor3::zeros(weights.out_channels(), out_h, out_w);
     for o in 0..weights.out_channels() {
@@ -188,18 +191,16 @@ pub fn conv2d_im2col(
         });
     }
     let (kh, kw) = (weights.kernel_h(), weights.kernel_w());
-    let out_h = conv_output_size(input.height(), kh, stride, padding).ok_or(
-        ConvError::KernelTooLarge {
+    let out_h =
+        conv_output_size(input.height(), kh, stride, padding).ok_or(ConvError::KernelTooLarge {
             input: (input.height() + 2 * padding, input.width() + 2 * padding),
             kernel: (kh, kw),
-        },
-    )?;
-    let out_w = conv_output_size(input.width(), kw, stride, padding).ok_or(
-        ConvError::KernelTooLarge {
+        })?;
+    let out_w =
+        conv_output_size(input.width(), kw, stride, padding).ok_or(ConvError::KernelTooLarge {
             input: (input.height() + 2 * padding, input.width() + 2 * padding),
             kernel: (kh, kw),
-        },
-    )?;
+        })?;
     let patches = im2col(input, kh, kw, stride, padding);
     // Weight matrix: one row per filter, flattened (channel, ky, kx).
     let mut out = Tensor3::zeros(weights.out_channels(), out_h, out_w);
@@ -253,7 +254,11 @@ pub fn conv_macs(
     out_h: usize,
     out_w: usize,
 ) -> u64 {
-    out_channels as u64 * in_channels as u64 * (kernel * kernel) as u64 * out_h as u64 * out_w as u64
+    out_channels as u64
+        * in_channels as u64
+        * (kernel * kernel) as u64
+        * out_h as u64
+        * out_w as u64
 }
 
 #[cfg(test)]
@@ -287,13 +292,8 @@ mod tests {
     #[test]
     fn hand_computed_example() {
         // 1-channel 3x3 input, 2x2 kernel, valid.
-        let input = Tensor3::from_data(
-            1,
-            3,
-            3,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-        )
-        .unwrap();
+        let input =
+            Tensor3::from_data(1, 3, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
         let mut w = Tensor4::zeros(1, 1, 2, 2);
         w.set(0, 0, 0, 0, 1.0);
         w.set(0, 0, 1, 1, 1.0);
@@ -385,22 +385,18 @@ mod tests {
         let a = conv2d(&input, &w, 1, 0).unwrap();
         let rows: Vec<Vec<f64>> = input.channel_rows(0).iter().map(|r| r.to_vec()).collect();
         let b = conv2d_valid_single(&rows, &w.kernel(0, 0));
-        for y in 0..a.height() {
-            for x in 0..a.width() {
-                assert!((a.get(0, y, x) - b[y][x]).abs() < 1e-12);
+        assert_eq!((b.len(), b[0].len()), (a.height(), a.width()));
+        for (y, brow) in b.iter().enumerate() {
+            for (x, bv) in brow.iter().enumerate() {
+                assert!((a.get(0, y, x) - bv).abs() < 1e-12);
             }
         }
     }
 
     #[test]
     fn im2col_matrix_shape_and_content() {
-        let input = Tensor3::from_data(
-            1,
-            3,
-            3,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-        )
-        .unwrap();
+        let input =
+            Tensor3::from_data(1, 3, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
         let m = im2col(&input, 2, 2, 1, 0);
         assert_eq!(m.len(), 4); // 2x2 output positions
         assert_eq!(m[0], vec![1.0, 2.0, 4.0, 5.0]);
@@ -442,8 +438,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ConvError::ZeroStride.to_string().contains("positive"));
-        assert!(ConvError::ChannelMismatch { input: 1, weights: 2 }
-            .to_string()
-            .contains("1"));
+        assert!(ConvError::ChannelMismatch {
+            input: 1,
+            weights: 2
+        }
+        .to_string()
+        .contains("1"));
     }
 }

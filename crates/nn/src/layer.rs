@@ -163,7 +163,11 @@ impl Network {
     /// Largest per-layer filter count `N_F` (sizes the output buffers,
     /// §5.3.3).
     pub fn max_filters(&self) -> usize {
-        self.layers.iter().map(|l| l.out_channels).max().unwrap_or(0)
+        self.layers
+            .iter()
+            .map(|l| l.out_channels)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-layer channel count `N_C` (sizes case-2 input buffers,

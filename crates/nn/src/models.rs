@@ -114,7 +114,11 @@ fn resnet_bottleneck(name: &str, blocks: [usize; 4]) -> Network {
             let first = b == 0;
             // The 3x3 of the first block in stages 2-4 strides; stage 1's
             // first block keeps stride 1 but still projects channels.
-            let (stride, in_res) = if first && s > 0 { (2, res * 2) } else { (1, res) };
+            let (stride, in_res) = if first && s > 0 {
+                (2, res * 2)
+            } else {
+                (1, res)
+            };
             layers.push(ConvSpec::new(
                 format!("layer{}.{}.conv1", s + 1, b),
                 in_ch,

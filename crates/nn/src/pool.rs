@@ -36,7 +36,11 @@ impl fmt::Display for PoolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PoolError::WindowTooLarge { input, window } => {
-                write!(f, "{window}x{window} window exceeds {}x{} input", input.0, input.1)
+                write!(
+                    f,
+                    "{window}x{window} window exceeds {}x{} input",
+                    input.0, input.1
+                )
             }
             PoolError::ZeroParameter => write!(f, "window and stride must be positive"),
         }

@@ -41,7 +41,10 @@ impl Quantizer {
     ///
     /// Panics unless `2 <= bits <= 16` and `max_abs > 0`.
     pub fn new(bits: u8, max_abs: f64) -> Self {
-        assert!((2..=16).contains(&bits), "bits must be in [2,16], got {bits}");
+        assert!(
+            (2..=16).contains(&bits),
+            "bits must be in [2,16], got {bits}"
+        );
         assert!(max_abs > 0.0, "max_abs must be positive, got {max_abs}");
         Self { bits, max_abs }
     }

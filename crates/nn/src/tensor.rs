@@ -28,7 +28,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeMismatch { expected, got } => {
-                write!(f, "data length {got} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape volume {expected}"
+                )
             }
             TensorError::ZeroDimension => write!(f, "tensor dimensions must be positive"),
         }
@@ -111,7 +114,14 @@ impl Tensor3 {
     /// # Panics
     ///
     /// Panics if any dimension is zero or `lo >= hi`.
-    pub fn random(channels: usize, height: usize, width: usize, lo: f64, hi: f64, seed: u64) -> Self {
+    pub fn random(
+        channels: usize,
+        height: usize,
+        width: usize,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Self {
         assert!(lo < hi, "invalid range [{lo}, {hi})");
         let mut t = Self::zeros(channels, height, width);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -264,7 +274,12 @@ impl Tensor4 {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn zeros(out_channels: usize, in_channels: usize, kernel_h: usize, kernel_w: usize) -> Self {
+    pub fn zeros(
+        out_channels: usize,
+        in_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+    ) -> Self {
         assert!(
             out_channels > 0 && in_channels > 0 && kernel_h > 0 && kernel_w > 0,
             "tensor dimensions must be positive"
@@ -303,7 +318,12 @@ impl Tensor4 {
 
     /// `(out_channels, in_channels, kernel_h, kernel_w)`.
     pub fn shape(&self) -> (usize, usize, usize, usize) {
-        (self.out_channels, self.in_channels, self.kernel_h, self.kernel_w)
+        (
+            self.out_channels,
+            self.in_channels,
+            self.kernel_h,
+            self.kernel_w,
+        )
     }
 
     /// Number of filters.

@@ -61,7 +61,10 @@ impl fmt::Display for TilingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TilingError::RowTooWide { row_len, tile } => {
-                write!(f, "row of {row_len} samples exceeds the {tile}-waveguide tile")
+                write!(
+                    f,
+                    "row of {row_len} samples exceeds the {tile}-waveguide tile"
+                )
             }
             TilingError::KernelTooLarge => write!(f, "kernel larger than input"),
             TilingError::BadOperand(which) => write!(f, "bad operand: {which}"),
@@ -131,7 +134,11 @@ impl TilingPlan {
         }
         let (h, w) = input_hw;
         let (eff_h, eff_w, row_len) = match mode {
-            TilingMode::Exact => (h + 2 * padding, w + 2 * padding, w + 2 * padding + kernel - 1),
+            TilingMode::Exact => (
+                h + 2 * padding,
+                w + 2 * padding,
+                w + 2 * padding + kernel - 1,
+            ),
             TilingMode::Approximate => (h, w, w),
         };
         if kernel > eff_h || kernel > eff_w {
@@ -149,7 +156,7 @@ impl TilingPlan {
         let max_rows = tile / row_len;
         let rows_per_pass = max_rows.min(eff_h);
         let kernel_chunks = kernel * kernel / MAX_ACTIVE_WEIGHT_TAPS
-            + usize::from(kernel * kernel % MAX_ACTIVE_WEIGHT_TAPS != 0);
+            + usize::from(!(kernel * kernel).is_multiple_of(MAX_ACTIVE_WEIGHT_TAPS));
 
         if rows_per_pass < kernel {
             // Row partitioning: each output row needs k input rows streamed
@@ -219,7 +226,7 @@ pub fn tile_rows(rows: &[&[f64]], row_len: usize) -> Vec<f64> {
     for row in rows {
         assert!(row.len() <= row_len, "row longer than row_len");
         out.extend_from_slice(row);
-        out.extend(std::iter::repeat(0.0).take(row_len - row.len()));
+        out.extend(std::iter::repeat_n(0.0, row_len - row.len()));
     }
     out
 }
@@ -240,7 +247,7 @@ pub fn tile_kernel(kernel: &[Vec<f64>], row_len: usize) -> Vec<f64> {
     for (j, row) in kernel.iter().enumerate() {
         out.extend_from_slice(row);
         if j + 1 < k {
-            out.extend(std::iter::repeat(0.0).take(row_len - kw));
+            out.extend(std::iter::repeat_n(0.0, row_len - kw));
         }
     }
     out
@@ -356,7 +363,7 @@ pub fn tiled_conv2d_valid(
     tile: usize,
     mode: TilingMode,
 ) -> Result<Vec<Vec<f64>>, TilingError> {
-    tiled_conv2d_with(input, kernel, tile, mode, |s, k| correlate_valid(s, k))
+    tiled_conv2d_with(input, kernel, tile, mode, correlate_valid)
 }
 
 #[cfg(test)]
@@ -387,8 +394,7 @@ mod tests {
     fn paper_worked_example_section_2_2() {
         // 32x32 input, 3x3 kernel (same padding), T = 256, approximate mode:
         // 8 rows/pass, 6 valid rows, 6 passes, 1590 conversions; GPU: 9216.
-        let plan =
-            TilingPlan::plan((32, 32), 3, 1, 1, 256, TilingMode::Approximate).unwrap();
+        let plan = TilingPlan::plan((32, 32), 3, 1, 1, 256, TilingMode::Approximate).unwrap();
         assert_eq!(plan.row_len, 32);
         assert_eq!(plan.rows_per_pass, 8);
         assert_eq!(plan.valid_rows_per_pass, 6);
@@ -441,8 +447,7 @@ mod tests {
     #[test]
     fn large_kernel_chunks() {
         // 11x11 AlexNet stem: 121 taps -> 5 chunks of <=25.
-        let plan =
-            TilingPlan::plan((224, 224), 11, 4, 2, 256, TilingMode::Approximate).unwrap();
+        let plan = TilingPlan::plan((224, 224), 11, 4, 2, 256, TilingMode::Approximate).unwrap();
         assert_eq!(plan.kernel_chunks, 5);
         let small = TilingPlan::plan((56, 56), 3, 1, 1, 256, TilingMode::Exact).unwrap();
         assert_eq!(small.kernel_chunks, 1);
@@ -471,10 +476,7 @@ mod tests {
     fn tile_kernel_layout() {
         let k = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
         // row_len 5: row0 + 3 zeros + row1 (no trailing pad on last row).
-        assert_eq!(
-            tile_kernel(&k, 5),
-            vec![1.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0]
-        );
+        assert_eq!(tile_kernel(&k, 5), vec![1.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0]);
     }
 
     #[test]

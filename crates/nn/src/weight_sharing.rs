@@ -34,7 +34,10 @@ impl fmt::Display for SharingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SharingError::TooManyClusters { clusters, kernels } => {
-                write!(f, "{clusters} clusters requested but only {kernels} kernels exist")
+                write!(
+                    f,
+                    "{clusters} clusters requested but only {kernels} kernels exist"
+                )
             }
             SharingError::ZeroClusters => write!(f, "codebook needs at least one entry"),
         }
@@ -188,7 +191,11 @@ impl SharedWeights {
     pub fn reconstruct(&self, kernel_h: usize, kernel_w: usize) -> Tensor4 {
         let o = self.assignments.len();
         let i = self.assignments[0].len();
-        assert_eq!(kernel_h * kernel_w, self.kernel_elems, "kernel shape mismatch");
+        assert_eq!(
+            kernel_h * kernel_w,
+            self.kernel_elems,
+            "kernel shape mismatch"
+        );
         let mut out = Tensor4::zeros(o, i, kernel_h, kernel_w);
         for fo in 0..o {
             for fi in 0..i {
@@ -361,6 +368,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(SharingError::ZeroClusters.to_string().contains("at least one"));
+        assert!(SharingError::ZeroClusters
+            .to_string()
+            .contains("at least one"));
     }
 }

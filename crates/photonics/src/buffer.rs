@@ -167,7 +167,9 @@ impl FeedbackBuffer {
     /// the minimum detectable power, but only fires once per `R+1` cycles:
     /// `LP_rel = 1 / (α · (R+1) · ρ^R)` with `ρ` the per-loop retention.
     pub fn relative_laser_power(&self) -> f64 {
-        1.0 / (self.alpha * (self.reuses + 1) as f64 * self.retention_per_reuse().powi(self.reuses as i32))
+        1.0 / (self.alpha
+            * (self.reuses + 1) as f64
+            * self.retention_per_reuse().powi(self.reuses as i32))
     }
 
     /// Duty cycle of the input DACs: new light is generated once per `R+1`
@@ -200,6 +202,49 @@ impl FeedbackBuffer {
         outputs
     }
 
+    /// Simulates the replay power sequence under per-replay loss variation
+    /// from a [`FaultInjector`](crate::faults::FaultInjector): each trip
+    /// through the delay line multiplies the circulating power by the
+    /// injector's loss factor for `(generation, replay)`. With a
+    /// transparent injector this equals
+    /// [`FeedbackBuffer::simulate_replays`] exactly.
+    pub fn replay_powers_with_loss_variation(
+        &self,
+        injector: &crate::faults::FaultInjector,
+        generation: u64,
+    ) -> Vec<f64> {
+        let junction =
+            YJunction::with_split_ratio(self.alpha).expect("alpha validated at construction");
+        let mut outputs = Vec::with_capacity(self.reuses as usize + 1);
+        let mut circulating = 1.0;
+        for replay in 0..=self.reuses {
+            let (to_jtc, to_loop) = junction.split_power(circulating);
+            outputs.push(to_jtc);
+            circulating = self.delay_line.propagate_power(to_loop)
+                * injector.buffer_loss_factor(generation, replay);
+        }
+        outputs
+    }
+
+    /// Worst-case relative error the scheduler's *static* weight rescale
+    /// factors commit when the actual per-replay retention varies per the
+    /// fault model: `max_i |X̃_i · ρ^{-i} / X_0 − 1|`. Zero for a
+    /// transparent injector.
+    pub fn rescale_error_with_loss_variation(
+        &self,
+        injector: &crate::faults::FaultInjector,
+        generation: u64,
+    ) -> f64 {
+        let actual = self.replay_powers_with_loss_variation(injector, generation);
+        let factors = self.weight_rescale_factors();
+        let x0 = actual[0];
+        actual
+            .iter()
+            .zip(&factors)
+            .map(|(x, f)| (x * f / x0 - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+
     /// Failure injection: streams a sequence of generated field amplitudes
     /// through the buffer with a *leaky* switch MRR and returns the
     /// amplitude sequence the JTC actually receives.
@@ -218,11 +263,7 @@ impl FeedbackBuffer {
     /// # Panics
     ///
     /// Panics unless `0 <= leakage < 1`.
-    pub fn simulate_stream_with_leaky_switch(
-        &self,
-        generated: &[f64],
-        leakage: f64,
-    ) -> Vec<f64> {
+    pub fn simulate_stream_with_leaky_switch(&self, generated: &[f64], leakage: f64) -> Vec<f64> {
         assert!(
             (0.0..1.0).contains(&leakage),
             "leakage must be in [0,1), got {leakage}"
@@ -378,7 +419,10 @@ mod tests {
 
     fn assert_rel(actual: f64, expected: f64, tol: f64, ctx: &str) {
         let rel = (actual - expected).abs() / expected;
-        assert!(rel < tol, "{ctx}: got {actual}, want {expected} (rel {rel})");
+        assert!(
+            rel < tol,
+            "{ctx}: got {actual}, want {expected} (rel {rel})"
+        );
     }
 
     #[test]
@@ -522,7 +566,10 @@ mod tests {
         let ideal = buf.simulate_stream_with_leaky_switch(&[1.0, 1.0], 0.0);
         let leaky = buf.simulate_stream_with_leaky_switch(&[1.0, 1.0], 0.04);
         let gen2 = 4; // first cycle of the second generation
-        assert!((ideal[gen2] - ideal[0]).abs() < 1e-12, "identical generations");
+        assert!(
+            (ideal[gen2] - ideal[0]).abs() < 1e-12,
+            "identical generations"
+        );
         assert!(leaky[gen2] > ideal[gen2], "ghost adds optical power");
     }
 
@@ -545,12 +592,44 @@ mod tests {
         // rings) keeps the stream's RMS corruption under half an LSB.
         let buf = FeedbackBuffer::refocus_fb();
         let half_lsb = 0.5 / 255.0;
-        assert!(buf.switch_leakage_corruption(1e-3) > half_lsb, "30 dB passes?!");
+        assert!(
+            buf.switch_leakage_corruption(1e-3) > half_lsb,
+            "30 dB passes?!"
+        );
         assert!(
             buf.switch_leakage_corruption(1e-5) < half_lsb,
             "corruption at 50 dB = {}",
             buf.switch_leakage_corruption(1e-5)
         );
+    }
+
+    #[test]
+    fn loss_variation_transparent_matches_simulate_replays() {
+        use crate::faults::{FaultInjector, FaultSpec};
+        let buf = FeedbackBuffer::refocus_fb();
+        let inj = FaultInjector::new(FaultSpec::none(), 3);
+        let varied = buf.replay_powers_with_loss_variation(&inj, 0);
+        let nominal = buf.simulate_replays();
+        assert_eq!(varied.len(), nominal.len());
+        for (v, n) in varied.iter().zip(&nominal) {
+            assert!((v - n).abs() < 1e-15);
+        }
+        // Not bit-exact zero: powi(-i) vs the multiplicative loop differ
+        // by accumulated rounding.
+        assert!(buf.rescale_error_with_loss_variation(&inj, 0) < 1e-12);
+    }
+
+    #[test]
+    fn loss_variation_perturbs_replays_and_rescale_error_grows() {
+        use crate::faults::{FaultInjector, FaultSpec};
+        let buf = FeedbackBuffer::refocus_fb();
+        let small = FaultInjector::new(FaultSpec::none().with_buffer_loss_sigma(0.005), 3);
+        let large = FaultInjector::new(FaultSpec::none().with_buffer_loss_sigma(0.02), 3);
+        let e_small = buf.rescale_error_with_loss_variation(&small, 0);
+        let e_large = buf.rescale_error_with_loss_variation(&large, 0);
+        assert!(e_small > 0.0);
+        // Same seed ⇒ same normal draws scaled by sigma ⇒ larger error.
+        assert!(e_large > e_small);
     }
 
     #[test]

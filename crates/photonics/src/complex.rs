@@ -185,6 +185,8 @@ impl Mul<Complex64> for f64 {
 
 impl Div for Complex64 {
     type Output = Self;
+    // Division via the reciprocal: z / w = z * w^-1.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }

@@ -175,8 +175,12 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn group_index_is_physical() {
         // Silicon waveguide group indices are ~3.5-4.3; Table 1 implies ~3.5.
-        assert!(GROUP_INDEX > 3.0 && GROUP_INDEX < 4.5, "n_g = {GROUP_INDEX}");
+        assert!(
+            GROUP_INDEX > 3.0 && GROUP_INDEX < 4.5,
+            "n_g = {GROUP_INDEX}"
+        );
     }
 }

@@ -31,10 +31,10 @@ pub mod y_junction;
 
 pub use converter::{Adc, Dac};
 pub use delay_line::DelayLine;
-pub use slow_light::SlowLightDelayLine;
 pub use laser::Laser;
 pub use lens::Lens;
 pub use mrr::Mrr;
 pub use nonlinear::NonlinearMaterial;
 pub use photodetector::Photodetector;
+pub use slow_light::SlowLightDelayLine;
 pub use y_junction::YJunction;

@@ -94,8 +94,8 @@ impl SlowLightDelayLine {
 
     /// Footprint, assuming the same area-per-length as the spiral.
     pub fn area(&self) -> SquareMillimeters {
-        let per_mm = DelayLine::AREA_PER_CYCLE_10GHZ.value()
-            / DelayLine::LENGTH_PER_CYCLE_10GHZ.value();
+        let per_mm =
+            DelayLine::AREA_PER_CYCLE_10GHZ.value() / DelayLine::LENGTH_PER_CYCLE_10GHZ.value();
         SquareMillimeters::new(self.length().value() * per_mm)
     }
 

@@ -1,0 +1,630 @@
+//! Device-fault models for the photonic datapath.
+//!
+//! The paper's noise treatment (§7.2) assumes every device works; real
+//! photonic accelerators also suffer *structural* imperfections that a
+//! well-behaved Gaussian cannot represent: MRR weight taps stuck by
+//! trimming errors, dead photodetector pixels, slow laser power drift,
+//! per-replay loss variation in the optical buffers, and thermal
+//! crosstalk between WDM channels. This module defines a declarative
+//! [`FaultSpec`] for those mechanisms and a seeded [`FaultInjector`]
+//! that applies them deterministically to the functional JTC path.
+//!
+//! Design principles:
+//!
+//! * **Determinism** — every fault decision derives from the injector
+//!   seed by counter-based hashing, never from shared mutable RNG
+//!   state, so the same seed always produces the same fault pattern
+//!   regardless of call interleaving.
+//! * **Monotonic severity** — [`FaultSpec::scaled`] scales rates and
+//!   sigmas by a severity factor. Because fault *sites* are chosen by
+//!   thresholding a per-site hash (`hash(site) < rate`), the fault set
+//!   at a higher rate is a superset of the set at a lower rate, and
+//!   continuous perturbations scale linearly; output error therefore
+//!   grows monotonically with severity — the property the fault
+//!   campaign asserts.
+//! * **Composability** — an injector can carry a [`NoiseModel`], so
+//!   analog noise and structural faults are applied in one pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use refocus_photonics::faults::{FaultInjector, FaultSpec};
+//! use refocus_photonics::jtc::Jtc;
+//!
+//! let spec = FaultSpec::none().with_dead_pixel_rate(0.2);
+//! let mut inj = FaultInjector::new(spec, 7);
+//! let jtc = Jtc::ideal();
+//! let clean = jtc.correlate(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0]).unwrap();
+//! let faulty = jtc
+//!     .correlate_with_faults(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0], &mut inj)
+//!     .unwrap();
+//! // Some detector pixels read zero; the rest are untouched.
+//! assert!(faulty
+//!     .full()
+//!     .iter()
+//!     .zip(clean.full())
+//!     .all(|(f, c)| *f == 0.0 || (f - c).abs() < 1e-12));
+//! ```
+
+use crate::noise::NoiseModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors validating a fault specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpecError {
+    /// A rate/probability parameter was outside `[0, 1]`.
+    RateOutOfRange {
+        /// Which parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A sigma/severity parameter was negative or non-finite.
+    InvalidSigma {
+        /// Which parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::RateOutOfRange { parameter, value } => {
+                write!(f, "{parameter} must be in [0, 1], got {value}")
+            }
+            FaultSpecError::InvalidSigma { parameter, value } => {
+                write!(
+                    f,
+                    "{parameter} must be finite and non-negative, got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// Declarative description of which device faults are present and how
+/// severe they are. All fields default to zero (fault-free).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Fraction of MRR weight-bank taps stuck at a fixed level
+    /// (trimming/aging failures).
+    pub stuck_weight_rate: f64,
+    /// The level stuck taps are frozen at, as a fraction of the
+    /// kernel's maximum tap (0 models *dead* taps).
+    pub stuck_weight_level: f64,
+    /// Fraction of photodetector pixels that read zero.
+    pub dead_pixel_rate: f64,
+    /// Per-pass relative step of the laser power random walk.
+    pub laser_drift_sigma: f64,
+    /// Clamp on the cumulative relative laser drift (e.g. `0.1` bounds
+    /// the excursion to ±10 %); models the laser's power-control loop.
+    pub laser_drift_limit: f64,
+    /// Relative sigma of per-replay optical-buffer loss variation
+    /// (fabrication / thermal variation of the delay-line loss).
+    pub buffer_loss_sigma: f64,
+    /// Fraction of each WDM channel's power that couples into its
+    /// spectral neighbours (thermal crosstalk; split evenly between
+    /// adjacent channels).
+    pub crosstalk: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultSpec {
+    /// A fault-free specification.
+    pub const fn none() -> Self {
+        FaultSpec {
+            stuck_weight_rate: 0.0,
+            stuck_weight_level: 0.0,
+            dead_pixel_rate: 0.0,
+            laser_drift_sigma: 0.0,
+            laser_drift_limit: 0.0,
+            buffer_loss_sigma: 0.0,
+            crosstalk: 0.0,
+        }
+    }
+
+    /// Sets the stuck-tap rate.
+    pub fn with_stuck_weights(mut self, rate: f64, level: f64) -> Self {
+        self.stuck_weight_rate = rate;
+        self.stuck_weight_level = level;
+        self
+    }
+
+    /// Sets the dead-pixel rate.
+    pub fn with_dead_pixel_rate(mut self, rate: f64) -> Self {
+        self.dead_pixel_rate = rate;
+        self
+    }
+
+    /// Sets the laser power drift random walk: per-pass `sigma`, total
+    /// excursion clamped to ±`limit`.
+    pub fn with_laser_drift(mut self, sigma: f64, limit: f64) -> Self {
+        self.laser_drift_sigma = sigma;
+        self.laser_drift_limit = limit;
+        self
+    }
+
+    /// Sets the per-replay buffer loss variation sigma.
+    pub fn with_buffer_loss_sigma(mut self, sigma: f64) -> Self {
+        self.buffer_loss_sigma = sigma;
+        self
+    }
+
+    /// Sets the WDM thermal crosstalk coupling.
+    pub fn with_crosstalk(mut self, coupling: f64) -> Self {
+        self.crosstalk = coupling;
+        self
+    }
+
+    /// Checks every parameter is in its legal range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        let rates = [
+            ("stuck_weight_rate", self.stuck_weight_rate),
+            ("dead_pixel_rate", self.dead_pixel_rate),
+            ("crosstalk", self.crosstalk),
+            ("laser_drift_limit", self.laser_drift_limit),
+        ];
+        for (parameter, value) in rates {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(FaultSpecError::RateOutOfRange { parameter, value });
+            }
+        }
+        let sigmas = [
+            ("stuck_weight_level", self.stuck_weight_level),
+            ("laser_drift_sigma", self.laser_drift_sigma),
+            ("buffer_loss_sigma", self.buffer_loss_sigma),
+        ];
+        for (parameter, value) in sigmas {
+            if value < 0.0 || !value.is_finite() {
+                return Err(FaultSpecError::InvalidSigma { parameter, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if every fault mechanism is disabled.
+    pub fn is_fault_free(&self) -> bool {
+        self.stuck_weight_rate == 0.0
+            && self.dead_pixel_rate == 0.0
+            && self.laser_drift_sigma == 0.0
+            && self.buffer_loss_sigma == 0.0
+            && self.crosstalk == 0.0
+    }
+
+    /// Scales every fault *intensity* by `severity` (rates and coupling
+    /// clamp at 1.0; the stuck level and drift limit are structural and
+    /// stay fixed). `scaled(0.0)` is fault-free; fault sites at lower
+    /// severities are subsets of those at higher severities.
+    pub fn scaled(&self, severity: f64) -> Self {
+        assert!(
+            severity >= 0.0 && severity.is_finite(),
+            "severity must be finite and non-negative, got {severity}"
+        );
+        FaultSpec {
+            stuck_weight_rate: (self.stuck_weight_rate * severity).min(1.0),
+            stuck_weight_level: self.stuck_weight_level,
+            dead_pixel_rate: (self.dead_pixel_rate * severity).min(1.0),
+            laser_drift_sigma: self.laser_drift_sigma * severity,
+            laser_drift_limit: self.laser_drift_limit,
+            buffer_loss_sigma: self.buffer_loss_sigma * severity,
+            crosstalk: (self.crosstalk * severity).min(1.0),
+        }
+    }
+
+    /// Laser over-provisioning factor the energy model should budget so
+    /// the worst-case negative drift still delivers minimum detectable
+    /// power: `1 / (1 - limit)`.
+    pub fn laser_margin(&self) -> f64 {
+        1.0 / (1.0 - self.laser_drift_limit.min(0.99))
+    }
+}
+
+/// Counter-based hash → uniform in `[0, 1)`. The workhorse for all
+/// fault-site decisions: every (seed, salt, index) triple maps to one
+/// fixed uniform draw.
+fn uniform_hash(seed: u64, salt: u64, index: u64) -> f64 {
+    let mut z = seed ^ salt.rotate_left(32) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard normal draw for (seed, salt, index), via Box–Muller over
+/// two decorrelated uniform hashes.
+fn normal_hash(seed: u64, salt: u64, index: u64) -> f64 {
+    let u1 = uniform_hash(seed, salt, index).max(1e-300);
+    let u2 = uniform_hash(seed, salt ^ 0x5DEE_CE66_D161_4A0B, index);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+const SALT_STUCK: u64 = 0x5354_5543_4b21;
+const SALT_PIXEL: u64 = 0x5049_5845_4c21;
+const SALT_DRIFT: u64 = 0x4452_4946_5421;
+const SALT_LOSS: u64 = 0x4c4f_5353_2121;
+
+/// Seeded applicator of a [`FaultSpec`] to the functional datapath.
+///
+/// Stateful only in its *pass counter* (which drives the laser drift
+/// random walk) and the optional composed [`NoiseModel`]; all fault
+/// site decisions are pure functions of `(seed, site)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    seed: u64,
+    /// Optical passes observed so far (drives the drift walk).
+    passes: u64,
+    /// Cumulative relative laser drift, clamped to ±`laser_drift_limit`.
+    drift: f64,
+    /// Optional composed analog noise, applied after structural faults.
+    noise: Option<NoiseModel>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `spec`, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`FaultSpec::validate`]; use the
+    /// validating constructor path in callers handling untrusted specs.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid fault spec: {e}");
+        }
+        FaultInjector {
+            spec,
+            seed,
+            passes: 0,
+            drift: 0.0,
+            noise: None,
+        }
+    }
+
+    /// Composes a seeded analog [`NoiseModel`], applied to detected
+    /// outputs after the structural faults.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The fault specification being applied.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The injector's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of optical passes this injector has faulted so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Rewinds all stream state (drift walk, pass counter, composed
+    /// noise) so the exact fault sequence replays.
+    pub fn reset(&mut self) {
+        self.passes = 0;
+        self.drift = 0.0;
+        if let Some(noise) = &mut self.noise {
+            noise.reset();
+        }
+    }
+
+    /// True if neither structural faults nor analog noise are active.
+    pub fn is_transparent(&self) -> bool {
+        self.spec.is_fault_free() && self.noise.as_ref().is_none_or(NoiseModel::is_noiseless)
+    }
+
+    /// Whether weight-bank tap `index` is stuck.
+    pub fn weight_is_stuck(&self, index: usize) -> bool {
+        uniform_hash(self.seed, SALT_STUCK, index as u64) < self.spec.stuck_weight_rate
+    }
+
+    /// Whether photodetector pixel `index` is dead.
+    pub fn pixel_is_dead(&self, index: usize) -> bool {
+        uniform_hash(self.seed, SALT_PIXEL, index as u64) < self.spec.dead_pixel_rate
+    }
+
+    /// Applies stuck-tap faults to a kernel in place. Stuck taps freeze
+    /// at `stuck_weight_level × max(kernel)` (the weight bank's
+    /// full-scale reference), so a level of 0 models dead taps.
+    pub fn corrupt_kernel(&self, kernel: &mut [f64]) {
+        if self.spec.stuck_weight_rate == 0.0 {
+            return;
+        }
+        let full_scale = kernel.iter().fold(0.0_f64, |m, &v| m.max(v));
+        let stuck_value = self.spec.stuck_weight_level * full_scale;
+        for (i, tap) in kernel.iter_mut().enumerate() {
+            if self.weight_is_stuck(i) {
+                *tap = stuck_value;
+            }
+        }
+    }
+
+    /// Zeroes dead-pixel positions of a detected output in place.
+    /// Index `i` of the slice is detector pixel `i` (the same physical
+    /// array is reused every pass, so the dead set is static).
+    pub fn mask_dead_pixels(&self, detected: &mut [f64]) {
+        if self.spec.dead_pixel_rate == 0.0 {
+            return;
+        }
+        for (i, v) in detected.iter_mut().enumerate() {
+            if self.pixel_is_dead(i) {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Advances the laser drift random walk by one optical pass and
+    /// returns the current relative power factor (≈ 1 ± limit).
+    pub fn laser_drift_step(&mut self) -> f64 {
+        let step = self.spec.laser_drift_sigma * normal_hash(self.seed, SALT_DRIFT, self.passes);
+        self.passes += 1;
+        let limit = self.spec.laser_drift_limit;
+        self.drift = (self.drift + step).clamp(-limit, limit);
+        1.0 + self.drift
+    }
+
+    /// Multiplicative retention perturbation for replay `replay` of
+    /// buffer generation `generation` (≥ 0, clamped so losses cannot
+    /// become gains beyond +3σ).
+    pub fn buffer_loss_factor(&self, generation: u64, replay: u32) -> f64 {
+        if self.spec.buffer_loss_sigma == 0.0 {
+            return 1.0;
+        }
+        let index = generation
+            .wrapping_mul(0x1_0000)
+            .wrapping_add(u64::from(replay));
+        let draw = normal_hash(self.seed, SALT_LOSS, index).clamp(-3.0, 3.0);
+        (1.0 + self.spec.buffer_loss_sigma * draw).max(0.0)
+    }
+
+    /// Mixes WDM channel signals with the spec's thermal crosstalk:
+    /// each channel keeps `1 - c` of its own power and receives an
+    /// even share of the `c` leaked by each spectral neighbour.
+    pub fn apply_crosstalk(&self, channels: &[(Vec<f64>, Vec<f64>)]) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let c = self.spec.crosstalk;
+        if c == 0.0 || channels.len() < 2 {
+            return channels.to_vec();
+        }
+        let n = channels.len();
+        channels
+            .iter()
+            .enumerate()
+            .map(|(i, (signal, kernel))| {
+                let mut mixed = signal.iter().map(|v| v * (1.0 - c)).collect::<Vec<f64>>();
+                let neighbours: Vec<usize> = [i.checked_sub(1), (i + 1 < n).then_some(i + 1)]
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let share = c / neighbours.len() as f64;
+                for j in neighbours {
+                    let (other, _) = &channels[j];
+                    for (m, v) in mixed.iter_mut().zip(other.iter()) {
+                        // Channels may carry different signal lengths in
+                        // principle; couple over the overlap.
+                        *m += share * v;
+                    }
+                }
+                (mixed, kernel.clone())
+            })
+            .collect()
+    }
+
+    /// Applies the composed analog noise (if any) to a detected output
+    /// in place.
+    pub fn apply_noise(&mut self, detected: &mut [f64]) {
+        if let Some(noise) = &mut self.noise {
+            for v in detected.iter_mut() {
+                *v = noise.perturb(*v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_fault_free() {
+        let spec = FaultSpec::default();
+        assert!(spec.is_fault_free());
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.laser_margin(), 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let spec = FaultSpec::none().with_dead_pixel_rate(1.5);
+        assert!(matches!(
+            spec.validate(),
+            Err(FaultSpecError::RateOutOfRange {
+                parameter: "dead_pixel_rate",
+                ..
+            })
+        ));
+        let spec = FaultSpec::none().with_buffer_loss_sigma(-0.1);
+        assert!(matches!(
+            spec.validate(),
+            Err(FaultSpecError::InvalidSigma {
+                parameter: "buffer_loss_sigma",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault spec")]
+    fn injector_panics_on_invalid_spec() {
+        let _ = FaultInjector::new(FaultSpec::none().with_crosstalk(2.0), 1);
+    }
+
+    #[test]
+    fn fault_sites_are_deterministic() {
+        let spec = FaultSpec::none()
+            .with_stuck_weights(0.3, 0.5)
+            .with_dead_pixel_rate(0.2);
+        let a = FaultInjector::new(spec, 42);
+        let b = FaultInjector::new(spec, 42);
+        for i in 0..256 {
+            assert_eq!(a.weight_is_stuck(i), b.weight_is_stuck(i));
+            assert_eq!(a.pixel_is_dead(i), b.pixel_is_dead(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_fault_different_sites() {
+        let spec = FaultSpec::none().with_dead_pixel_rate(0.5);
+        let a = FaultInjector::new(spec, 1);
+        let b = FaultInjector::new(spec, 2);
+        let differs = (0..256).any(|i| a.pixel_is_dead(i) != b.pixel_is_dead(i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn higher_rate_faults_superset_of_sites() {
+        let lo = FaultInjector::new(FaultSpec::none().with_dead_pixel_rate(0.1), 9);
+        let hi = FaultInjector::new(FaultSpec::none().with_dead_pixel_rate(0.4), 9);
+        for i in 0..1024 {
+            if lo.pixel_is_dead(i) {
+                assert!(hi.pixel_is_dead(i), "site {i} lost at higher rate");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rates_approximate_requested_fraction() {
+        let inj = FaultInjector::new(FaultSpec::none().with_dead_pixel_rate(0.25), 3);
+        let dead = (0..10_000).filter(|&i| inj.pixel_is_dead(i)).count();
+        let fraction = dead as f64 / 10_000.0;
+        assert!((fraction - 0.25).abs() < 0.02, "fraction {fraction}");
+    }
+
+    #[test]
+    fn corrupt_kernel_freezes_taps_at_level() {
+        let spec = FaultSpec::none().with_stuck_weights(0.5, 0.25);
+        let inj = FaultInjector::new(spec, 17);
+        let mut kernel = vec![0.1, 0.9, 0.4, 0.8, 0.2, 0.6, 0.3, 0.7];
+        let original = kernel.clone();
+        inj.corrupt_kernel(&mut kernel);
+        let stuck_value = 0.25 * 0.9;
+        let mut stuck = 0;
+        for (i, (&now, &before)) in kernel.iter().zip(&original).enumerate() {
+            if inj.weight_is_stuck(i) {
+                assert_eq!(now, stuck_value);
+                stuck += 1;
+            } else {
+                assert_eq!(now, before);
+            }
+        }
+        assert!(stuck > 0, "seed produced no stuck taps in 8 at rate 0.5");
+    }
+
+    #[test]
+    fn drift_walk_respects_limit_and_scales_with_sigma() {
+        let mut small = FaultInjector::new(FaultSpec::none().with_laser_drift(0.001, 0.05), 5);
+        let mut large = FaultInjector::new(FaultSpec::none().with_laser_drift(0.002, 0.05), 5);
+        let mut max_small: f64 = 0.0;
+        for _ in 0..500 {
+            let s = small.laser_drift_step();
+            let l = large.laser_drift_step();
+            assert!((0.95..=1.05).contains(&s), "drift {s} out of limit");
+            assert!((0.95..=1.05).contains(&l));
+            max_small = max_small.max((s - 1.0).abs());
+            // Same walk, doubled sigma ⇒ excursion at least as large
+            // until both saturate at the clamp.
+            assert!((l - 1.0).abs() >= (s - 1.0).abs() - 1e-12);
+        }
+        assert!(max_small > 0.0, "walk never moved");
+    }
+
+    #[test]
+    fn buffer_loss_factor_is_deterministic_and_bounded() {
+        let inj = FaultInjector::new(FaultSpec::none().with_buffer_loss_sigma(0.05), 21);
+        for generation in 0..4 {
+            for replay in 0..16 {
+                let a = inj.buffer_loss_factor(generation, replay);
+                let b = inj.buffer_loss_factor(generation, replay);
+                assert_eq!(a, b);
+                assert!((0.85..=1.15).contains(&a), "factor {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn crosstalk_conserves_power_for_uniform_channels() {
+        let inj = FaultInjector::new(FaultSpec::none().with_crosstalk(0.1), 2);
+        let ch = vec![(vec![1.0, 1.0], vec![1.0]), (vec![1.0, 1.0], vec![1.0])];
+        let mixed = inj.apply_crosstalk(&ch);
+        // Two identical channels: leakage in == leakage out.
+        for (signal, _) in &mixed {
+            for v in signal {
+                assert!((v - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn crosstalk_mixes_distinct_channels() {
+        let inj = FaultInjector::new(FaultSpec::none().with_crosstalk(0.2), 2);
+        let ch = vec![(vec![1.0, 0.0], vec![1.0]), (vec![0.0, 1.0], vec![1.0])];
+        let mixed = inj.apply_crosstalk(&ch);
+        assert!((mixed[0].0[0] - 0.8).abs() < 1e-12);
+        assert!((mixed[0].0[1] - 0.2).abs() < 1e-12);
+        assert!((mixed[1].0[0] - 0.2).abs() < 1e-12);
+        assert!((mixed[1].0[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_zero_is_fault_free_and_scaling_is_monotone() {
+        let base = FaultSpec::none()
+            .with_stuck_weights(0.05, 0.5)
+            .with_dead_pixel_rate(0.05)
+            .with_laser_drift(0.001, 0.1)
+            .with_buffer_loss_sigma(0.01)
+            .with_crosstalk(0.02);
+        assert!(base.scaled(0.0).is_fault_free());
+        let lo = base.scaled(1.0);
+        let hi = base.scaled(4.0);
+        assert!(hi.dead_pixel_rate > lo.dead_pixel_rate);
+        assert!(hi.crosstalk > lo.crosstalk);
+        assert_eq!(hi.stuck_weight_level, lo.stuck_weight_level);
+        // Rates clamp at 1.
+        assert_eq!(base.scaled(1000.0).dead_pixel_rate, 1.0);
+    }
+
+    #[test]
+    fn reset_replays_drift_walk() {
+        let mut inj = FaultInjector::new(FaultSpec::none().with_laser_drift(0.01, 0.2), 13);
+        let first: Vec<f64> = (0..10).map(|_| inj.laser_drift_step()).collect();
+        inj.reset();
+        let second: Vec<f64> = (0..10).map(|_| inj.laser_drift_step()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn transparent_injector_detected() {
+        let inj = FaultInjector::new(FaultSpec::none(), 0);
+        assert!(inj.is_transparent());
+        let inj = FaultInjector::new(FaultSpec::none().with_dead_pixel_rate(0.01), 0);
+        assert!(!inj.is_transparent());
+    }
+}

@@ -122,7 +122,7 @@ fn radix2(x: &mut [Complex64], dir: Direction) {
     debug_assert!(n.is_power_of_two());
 
     // Bit-reversal permutation.
-    let shift = (n.leading_zeros() + 1) as u32;
+    let shift = n.leading_zeros() + 1;
     for i in 0..n {
         let j = i.reverse_bits() >> shift;
         if i < j {
@@ -255,7 +255,7 @@ impl FftPlan {
             }
             len <<= 1;
         }
-        let shift = (n.leading_zeros() + 1) as u32;
+        let shift = n.leading_zeros() + 1;
         let swaps = (0..n)
             .filter_map(|i| {
                 let j = i.reverse_bits() >> shift;
@@ -281,7 +281,13 @@ impl FftPlan {
     }
 
     fn run(&self, x: &mut [Complex64], conjugate: bool) {
-        assert_eq!(x.len(), self.n, "plan is for length {}, got {}", self.n, x.len());
+        assert_eq!(
+            x.len(),
+            self.n,
+            "plan is for length {}, got {}",
+            self.n,
+            x.len()
+        );
         for &(i, j) in &self.swaps {
             x.swap(i as usize, j as usize);
         }

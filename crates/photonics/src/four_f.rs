@@ -60,10 +60,7 @@ impl FourF {
     /// `kernel` on a plane of `plane_size` samples: `conj(FFT(kernel))`,
     /// zero-padded. One complex value per plane sample.
     pub fn filter_for_kernel(kernel: &[f64], plane_size: usize) -> Vec<Complex64> {
-        let mut f: Vec<Complex64> = kernel
-            .iter()
-            .map(|&v| Complex64::from_real(v))
-            .collect();
+        let mut f: Vec<Complex64> = kernel.iter().map(|&v| Complex64::from_real(v)).collect();
         f.resize(plane_size, Complex64::ZERO);
         fft(&mut f);
         for v in f.iter_mut() {
@@ -109,10 +106,7 @@ impl FourF {
             }
         }
         // First lens.
-        let mut plane: Vec<Complex64> = signal
-            .iter()
-            .map(|&v| Complex64::from_real(v))
-            .collect();
+        let mut plane: Vec<Complex64> = signal.iter().map(|&v| Complex64::from_real(v)).collect();
         plane.resize(n, Complex64::ZERO);
         fft(&mut plane);
         // Fourier-plane filter mask.
@@ -134,7 +128,9 @@ mod tests {
     use crate::signal::correlate_valid;
 
     fn test_signal(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i as f64 * 0.31).sin() + 1.0) / 2.0).collect()
+        (0..n)
+            .map(|i| ((i as f64 * 0.31).sin() + 1.0) / 2.0)
+            .collect()
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl fmt::Display for JtcError {
         match self {
             JtcError::EmptyInput => write!(f, "signal and kernel must be non-empty"),
             JtcError::NegativeValue { which } => {
-                write!(f, "{which} contains a negative value; JTC inputs are optical powers")
+                write!(
+                    f,
+                    "{which} contains a negative value; JTC inputs are optical powers"
+                )
             }
             JtcError::PlaneTooSmall {
                 required,
@@ -248,6 +251,41 @@ impl Jtc {
             signal_len: ls,
             plane_size: n,
         })
+    }
+
+    /// Performs one optical pass under a device-fault model.
+    ///
+    /// Applies, in physical order: stuck MRR weight-bank taps to the
+    /// kernel, the laser power drift factor for this pass to both
+    /// correlands (the bilinear output therefore moves by the factor
+    /// squared), the regular optical pipeline, dead-photodetector-pixel
+    /// masking of the detected lags, and finally the injector's
+    /// composed analog [`NoiseModel`](crate::noise::NoiseModel) if any.
+    /// With a transparent injector this is exactly [`Jtc::correlate`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Jtc::correlate`].
+    pub fn correlate_with_faults(
+        &self,
+        signal: &[f64],
+        kernel: &[f64],
+        injector: &mut crate::faults::FaultInjector,
+    ) -> Result<JtcOutput, JtcError> {
+        if injector.is_transparent() {
+            return self.correlate(signal, kernel);
+        }
+        let mut kernel = kernel.to_vec();
+        injector.corrupt_kernel(&mut kernel);
+        let drift = injector.laser_drift_step();
+        let signal: Vec<f64> = signal.iter().map(|v| v * drift).collect();
+        for tap in kernel.iter_mut() {
+            *tap *= drift;
+        }
+        let mut out = self.correlate(&signal, &kernel)?;
+        injector.mask_dead_pixels(&mut out.full);
+        injector.apply_noise(&mut out.full);
+        Ok(out)
     }
 
     /// Returns the detected intensity over the **entire** output plane —
@@ -453,7 +491,10 @@ mod tests {
         let s = pseudo_random(8, 1);
         let k = pseudo_random(3, 2);
         match jtc.correlate(&s, &k) {
-            Err(JtcError::PlaneTooSmall { required, available }) => {
+            Err(JtcError::PlaneTooSmall {
+                required,
+                available,
+            }) => {
                 assert_eq!(available, 16);
                 assert!(required > 16);
             }
@@ -502,6 +543,74 @@ mod tests {
         for (x, y) in a.full().iter().zip(b.full()) {
             assert!((y - 4.0 * x).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn transparent_injector_reproduces_correlate() {
+        use crate::faults::{FaultInjector, FaultSpec};
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(16, 41);
+        let k = pseudo_random(3, 42);
+        let mut inj = FaultInjector::new(FaultSpec::none(), 1);
+        let clean = jtc.correlate(&s, &k).unwrap();
+        let faulted = jtc.correlate_with_faults(&s, &k, &mut inj).unwrap();
+        assert_eq!(clean, faulted);
+        assert_eq!(inj.passes(), 0, "transparent path must not consume state");
+    }
+
+    #[test]
+    fn dead_pixels_zero_detected_lags() {
+        use crate::faults::{FaultInjector, FaultSpec};
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(16, 43);
+        let k = pseudo_random(3, 44);
+        let mut inj = FaultInjector::new(FaultSpec::none().with_dead_pixel_rate(0.3), 5);
+        let clean = jtc.correlate(&s, &k).unwrap();
+        let faulted = jtc.correlate_with_faults(&s, &k, &mut inj).unwrap();
+        let mut dead = 0;
+        for (i, (f, c)) in faulted.full().iter().zip(clean.full()).enumerate() {
+            if inj.pixel_is_dead(i) {
+                assert_eq!(*f, 0.0);
+                dead += 1;
+            } else {
+                assert!((f - c).abs() < 1e-12);
+            }
+        }
+        assert!(dead > 0, "seed killed no pixels at rate 0.3");
+    }
+
+    #[test]
+    fn laser_drift_scales_output_quadratically() {
+        use crate::faults::{FaultInjector, FaultSpec};
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(12, 45);
+        let k = pseudo_random(3, 46);
+        // Single pass: the drift walk takes exactly one step.
+        let mut inj = FaultInjector::new(FaultSpec::none().with_laser_drift(0.05, 0.2), 7);
+        let faulted = jtc.correlate_with_faults(&s, &k, &mut inj).unwrap();
+        let mut probe = FaultInjector::new(FaultSpec::none().with_laser_drift(0.05, 0.2), 7);
+        let d = probe.laser_drift_step();
+        let clean = jtc.correlate(&s, &k).unwrap();
+        for (f, c) in faulted.full().iter().zip(clean.full()) {
+            assert!((f - c * d * d).abs() < 1e-9, "expected d² scaling");
+        }
+    }
+
+    #[test]
+    fn faulted_correlate_is_deterministic_per_seed() {
+        use crate::faults::{FaultInjector, FaultSpec};
+        let jtc = Jtc::ideal();
+        let s = pseudo_random(16, 47);
+        let k = pseudo_random(4, 48);
+        let spec = FaultSpec::none()
+            .with_stuck_weights(0.3, 0.5)
+            .with_dead_pixel_rate(0.1)
+            .with_laser_drift(0.01, 0.1);
+        let mut a = FaultInjector::new(spec, 99);
+        let mut b = FaultInjector::new(spec, 99);
+        let out_a = jtc.correlate_with_faults(&s, &k, &mut a).unwrap();
+        let out_b = jtc.correlate_with_faults(&s, &k, &mut b).unwrap();
+        assert_eq!(out_a, out_b);
     }
 
     #[test]

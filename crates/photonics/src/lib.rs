@@ -18,6 +18,9 @@
 //! * [`wdm`] — wavelength-division multiplexing with shared lenses and
 //!   detector-level channel accumulation.
 //! * [`noise`] — seeded shot/thermal/relative noise injection (§7.2).
+//! * [`faults`] — structural device-fault models (stuck MRR taps, dead
+//!   detector pixels, laser drift, buffer loss variation, WDM crosstalk)
+//!   composing with [`noise`].
 //! * [`units`] — physical-unit newtypes (watts, mm², dB, …) used across the
 //!   workspace.
 //!
@@ -41,6 +44,7 @@ pub mod buffer;
 pub mod complex;
 pub mod components;
 pub mod dispersion;
+pub mod faults;
 pub mod fft;
 pub mod four_f;
 pub mod jtc;
@@ -51,5 +55,6 @@ pub mod wdm;
 
 pub use buffer::{FeedbackBuffer, FeedforwardBuffer};
 pub use complex::Complex64;
+pub use faults::{FaultInjector, FaultSpec};
 pub use jtc::{Jtc, JtcError, JtcOutput};
 pub use wdm::WdmBus;

@@ -42,6 +42,13 @@ impl Clone for NoiseModel {
     /// Cloning restarts the random stream from the seed (the in-flight
     /// generator state is not cloneable), so a clone replays the model's
     /// noise sequence from the beginning.
+    ///
+    /// **Footgun:** a clone therefore draws the *same* noise values as the
+    /// original drew from its own start — two clones perturbing two
+    /// signals apply perfectly correlated noise, which silently understates
+    /// (or overstates) the combined error. When you need a second,
+    /// statistically independent stream, use [`NoiseModel::split`] instead
+    /// of `clone`.
     fn clone(&self) -> Self {
         Self {
             seed: self.seed,
@@ -106,10 +113,12 @@ impl NoiseModel {
 
     /// Draws one standard normal sample (Box–Muller).
     fn standard_normal(&mut self) -> f64 {
-        let rng = self.rng.get_or_insert_with(|| StdRng::seed_from_u64(self.seed));
+        let rng = self
+            .rng
+            .get_or_insert_with(|| StdRng::seed_from_u64(self.seed));
         let u1: f64 = rng.random::<f64>().max(1e-300);
         let u2: f64 = rng.random::<f64>();
-        ((-2.0 * u1.ln()) as f64).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
     /// Perturbs one detected intensity.
@@ -140,6 +149,41 @@ impl NoiseModel {
     /// required for noise-aware training reproducibility.
     pub fn reset(&mut self) {
         self.rng = Some(StdRng::seed_from_u64(self.seed));
+    }
+
+    /// The seed this model's stream derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives a new model with the same noise parameters but an
+    /// *independent* seeded stream, deterministically from this model's
+    /// seed.
+    ///
+    /// Unlike [`Clone::clone`] — which replays the parent's exact noise
+    /// sequence and therefore produces *correlated* noise across uses —
+    /// `split` mixes the seed through an avalanche hash, so parent and
+    /// child streams are statistically independent while the pair is
+    /// still fully reproducible from the parent seed. Repeated splits
+    /// chain: `m.split().split()` differs from both `m` and `m.split()`.
+    ///
+    /// Use `split` when fanning one configured model out to several
+    /// consumers (e.g. per-layer or per-tile noise) that must not see
+    /// identical perturbations.
+    pub fn split(&self) -> NoiseModel {
+        // splitmix64 finalizer: full-avalanche mixing of the parent seed,
+        // with an odd offset so split(seed) != seed even at fixed points.
+        let mut z = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self {
+            seed: z,
+            rng: None,
+            relative_sigma: self.relative_sigma,
+            additive_sigma: self.additive_sigma,
+            shot_factor: self.shot_factor,
+        }
     }
 }
 
@@ -231,6 +275,34 @@ mod tests {
         // Variance ratio should be ~signal ratio (100x).
         let ratio = vs / vw;
         assert!(ratio > 50.0 && ratio < 200.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn clone_replays_parent_stream() {
+        let mut parent = NoiseModel::new(13).with_relative_sigma(0.1);
+        let mut clone = parent.clone();
+        // The documented (and footgun-prone) behavior: identical draws.
+        assert_eq!(parent.perturb(1.0), clone.perturb(1.0));
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut parent = NoiseModel::new(13).with_relative_sigma(0.1);
+        let mut child = parent.split();
+        let mut child2 = parent.split();
+        assert!(!child.is_noiseless(), "split must keep noise parameters");
+        // Deterministic: same parent ⇒ same child stream.
+        assert_eq!(child.perturb(1.0), child2.perturb(1.0));
+        // Independent: child draws differ from the parent's.
+        parent.reset();
+        child.reset();
+        let p: Vec<f64> = (0..8).map(|_| parent.perturb(1.0)).collect();
+        let c: Vec<f64> = (0..8).map(|_| child.perturb(1.0)).collect();
+        assert_ne!(p, c);
+        // Chained splits keep diverging.
+        let grandchild = child.split();
+        assert_ne!(grandchild.seed(), child.seed());
+        assert_ne!(grandchild.seed(), parent.seed());
     }
 
     #[test]

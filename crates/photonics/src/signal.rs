@@ -146,7 +146,13 @@ pub fn correlate_valid(a: &[f64], b: &[f64]) -> Vec<f64> {
 ///
 /// Panics if lengths differ.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b)
         .map(|(x, y)| (x - y).abs())
@@ -159,7 +165,13 @@ pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if lengths differ or the signals are empty.
 pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     assert!(!a.is_empty(), "rmse of empty signals is undefined");
     let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
     (sum / a.len() as f64).sqrt()

@@ -16,8 +16,11 @@ fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn complex_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..max_len)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex64::new(re, im))
+            .collect()
+    })
 }
 
 proptest! {

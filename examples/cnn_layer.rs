@@ -15,7 +15,11 @@ use refocus::nn::tensor::{Tensor3, Tensor4};
 use refocus::photonics::buffer::FeedbackBuffer;
 
 fn max_rel_err(a: &Tensor3, b: &Tensor3) -> f64 {
-    let peak = b.data().iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-12);
+    let peak = b
+        .data()
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(1e-12);
     a.data()
         .iter()
         .zip(b.data())
@@ -64,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\narchitecture view of {layer}:");
     println!("  passes/channel: {}", perf.plan.passes);
     println!("  channel iterations: {}", perf.channel_iterations);
-    println!("  filter iterations (incl. pseudo-negative): {}", perf.filter_iterations);
+    println!(
+        "  filter iterations (incl. pseudo-negative): {}",
+        perf.filter_iterations
+    );
     println!("  cycles: {}", perf.cycles);
     println!(
         "  input DACs idle {:.0}% of cycles thanks to optical reuse",

@@ -25,11 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let rows = sweep_with_budget(variant, &suite, budget)?;
         println!("{name}:");
-        println!("{:>4} {:>7} {:>8} {:>10} {:>7}", "M", "N_RFCU", "FPS/W", "FPS/mm^2", "PAP");
+        println!(
+            "{:>4} {:>7} {:>8} {:>10} {:>7}",
+            "M", "N_RFCU", "FPS/W", "FPS/mm^2", "PAP"
+        );
         for r in &rows {
             println!(
                 "{:>4} {:>7} {:>8.2} {:>10.2} {:>7.2}",
-                r.delay_cycles, r.rfcus, r.relative_fps_per_watt, r.relative_fps_per_mm2, r.relative_pap
+                r.delay_cycles,
+                r.rfcus,
+                r.relative_fps_per_watt,
+                r.relative_fps_per_mm2,
+                r.relative_pap
             );
         }
         let best = optimal_row(&rows);

@@ -25,7 +25,8 @@ fn fnet_mixing_reference(tokens: &[Vec<f64>]) -> Vec<Vec<f64>> {
             let mut acc = Complex64::ZERO;
             for (s, row) in tokens.iter().enumerate() {
                 for (h, &v) in row.iter().enumerate() {
-                    let angle = -2.0 * std::f64::consts::PI
+                    let angle = -2.0
+                        * std::f64::consts::PI
                         * ((ks * s) as f64 / seq as f64 + (kh * h) as f64 / hidden as f64);
                     acc += Complex64::cis(angle) * v;
                 }
@@ -48,8 +49,7 @@ fn fnet_mixing_optical(tokens: &[Vec<f64>]) -> (Vec<Vec<f64>>, usize) {
     let mut stage1: Vec<Vec<Complex64>> = tokens
         .iter()
         .map(|row| {
-            let mut field: Vec<Complex64> =
-                row.iter().map(|&v| Complex64::from_real(v)).collect();
+            let mut field: Vec<Complex64> = row.iter().map(|&v| Complex64::from_real(v)).collect();
             lens.transform(&mut field);
             passes += 1;
             field
@@ -95,7 +95,10 @@ fn main() {
 
     println!("FNet token mixing, {seq} tokens x {hidden} dims");
     println!("  lens passes: {passes} (each computes an entire FT in one time-of-flight)");
-    println!("  digital reference: {} complex MACs", seq * hidden * seq * hidden);
+    println!(
+        "  digital reference: {} complex MACs",
+        seq * hidden * seq * hidden
+    );
     println!("  max |error| / peak: {:.2e}", max_err / peak);
     println!();
     println!("first mixed token (optical vs digital):");

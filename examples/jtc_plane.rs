@@ -9,7 +9,9 @@
 use refocus::photonics::jtc::Jtc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let signal: Vec<f64> = (0..24).map(|i| ((i as f64 * 0.45).sin() + 1.0) / 2.0).collect();
+    let signal: Vec<f64> = (0..24)
+        .map(|i| ((i as f64 * 0.45).sin() + 1.0) / 2.0)
+        .collect();
     let kernel = vec![0.2, 0.9, 0.4, 0.1];
 
     let jtc = Jtc::ideal();
@@ -21,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bar_width = 60usize;
     for (x, &v) in plane.iter().enumerate() {
         // Only print the interesting half-plane rows plus markers.
-        let signed_x = if x <= n / 2 { x as isize } else { x as isize - n as isize };
+        let signed_x = if x <= n / 2 {
+            x as isize
+        } else {
+            x as isize - n as isize
+        };
         let magnitude = (v / peak * bar_width as f64).round() as usize;
         if magnitude == 0 && !(x == sep || signed_x == -(sep as isize) || x == 0) {
             continue;
@@ -43,6 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v0 = out.valid()[0];
     let want: f64 = kernel.iter().enumerate().map(|(k, w)| signal[k] * w).sum();
     println!("\ncross-term sample at lag 0: {v0:.6} (digital: {want:.6})");
-    println!("terms are disjoint, so photodetectors placed on the + window read a clean convolution");
+    println!(
+        "terms are disjoint, so photodetectors placed on the + window read a clean convolution"
+    );
     Ok(())
 }

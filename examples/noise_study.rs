@@ -14,7 +14,9 @@ use refocus::photonics::signal::correlate_valid;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. SNR of a single JTC pass vs detector noise level. ---
-    let signal: Vec<f64> = (0..128).map(|i| ((i as f64 * 0.21).sin() + 1.0) / 2.0).collect();
+    let signal: Vec<f64> = (0..128)
+        .map(|i| ((i as f64 * 0.21).sin() + 1.0) / 2.0)
+        .collect();
     let kernel = [0.2, 0.5, 0.3];
     let jtc = Jtc::ideal();
     let clean = jtc.correlate(&signal, &kernel)?.valid().to_vec();

@@ -146,5 +146,8 @@ fn main() {
         "JTC passes performed: {} (each = one light-speed Fourier-optical correlation)",
         optical.passes()
     );
-    assert!(agree * 10 >= total * 9, "optics must track the digital classifier");
+    assert!(
+        agree * 10 >= total * 9,
+        "optics must track the digital classifier"
+    );
 }

@@ -47,6 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.metrics.area_mm2,
         report.metrics.fps_per_watt()
     );
-    println!("\nper-component energy of one inference:\n{}", report.energy);
+    println!(
+        "\nper-component energy of one inference:\n{}",
+        report.energy
+    );
     Ok(())
 }

@@ -134,7 +134,9 @@ fn parse(args: &[String]) -> Result<Option<Options>, String> {
         config.weight_compression = c;
     }
     config.include_dram = dram;
-    config.validate().map_err(|e| format!("invalid configuration: {e}"))?;
+    config
+        .validate()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
 
     let network = network_by_name(&network)
         .ok_or_else(|| format!("unknown network: {network} (try --list-networks)"))?;
@@ -176,7 +178,10 @@ fn main() -> ExitCode {
         match simulate_suite(&suite, &opts.config) {
             Ok(s) => {
                 if opts.json {
-                    println!("{}", serde_json::to_string_pretty(&s).expect("serializable"));
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&s).expect("serializable")
+                    );
                 } else {
                     for r in &s.reports {
                         print_report(r);
@@ -200,7 +205,10 @@ fn main() -> ExitCode {
         match simulate(&opts.network, &opts.config) {
             Ok(r) => {
                 if opts.json {
-                    println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&r).expect("serializable")
+                    );
                 } else {
                     print_report(&r);
                 }

@@ -24,7 +24,7 @@
 //!     "ReFOCUS-FB, ResNet-34: {:.0} FPS / {:.1} W",
 //!     report.metrics.fps, report.metrics.power_w
 //! );
-//! # Ok::<(), refocus::nn::tiling::TilingError>(())
+//! # Ok::<(), refocus::arch::error::SimError>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -10,7 +10,6 @@ use refocus::memsim::sram::{Sram, KIB, MIB};
 use refocus::nn::models;
 use refocus::photonics::buffer::{FeedbackBuffer, FeedforwardBuffer};
 use refocus::photonics::components::DelayLine;
-use refocus::photonics::units::GigaHertz;
 
 #[test]
 fn delay_line_area_consistent_between_crates() {
@@ -69,7 +68,10 @@ fn adc_clock_follows_temporal_accumulation() {
             delay_cycles: 16,
             ..AcceleratorConfig::refocus_ff()
         };
-        assert!((cfg.adc_clock().value() - want_ghz).abs() < 1e-12, "ta={ta}");
+        assert!(
+            (cfg.adc_clock().value() - want_ghz).abs() < 1e-12,
+            "ta={ta}"
+        );
     }
 }
 
@@ -127,10 +129,15 @@ fn dataflow_traffic_and_energy_model_agree() {
     let hierarchy = Hierarchy::new(Some(buffers));
 
     let close = |a: f64, b: f64, what: &str| {
-        assert!((a - b).abs() < 1e-9 * a.max(b).max(1e-30), "{what}: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9 * a.max(b).max(1e-30),
+            "{what}: {a} vs {b}"
+        );
     };
     close(
-        hierarchy.energy(Level::WeightSram, traffic.weight_sram).value(),
+        hierarchy
+            .energy(Level::WeightSram, traffic.weight_sram)
+            .value(),
         energy.weight_sram.value(),
         "weight SRAM",
     );

@@ -124,7 +124,10 @@ fn wdm_bus_and_jtc_compose_with_tiling() {
     let rows_b: Vec<f64> = (0..64).map(|i| ((i * 5) % 11) as f64 / 11.0).collect();
     let k = vec![0.25, 0.5, 0.25];
     let acc = bus
-        .correlate_accumulate(&jtc, &[(rows_a.clone(), k.clone()), (rows_b.clone(), k.clone())])
+        .correlate_accumulate(
+            &jtc,
+            &[(rows_a.clone(), k.clone()), (rows_b.clone(), k.clone())],
+        )
         .unwrap();
     let want: Vec<f64> = refocus::photonics::signal::correlate_valid(&rows_a, &k)
         .iter()

@@ -16,7 +16,10 @@ fn abstract_headline_2x_throughput() {
     let (base_fps, _, _) = suite_metrics(&Accelerator::photofourier_baseline());
     let (fb_fps, _, _) = suite_metrics(&Accelerator::refocus_fb());
     let ratio = fb_fps / base_fps;
-    assert!((1.85..2.1).contains(&ratio), "throughput ratio = {ratio} (paper 2x)");
+    assert!(
+        (1.85..2.1).contains(&ratio),
+        "throughput ratio = {ratio} (paper 2x)"
+    );
 }
 
 #[test]
@@ -24,7 +27,10 @@ fn abstract_headline_energy_efficiency() {
     let (_, base, _) = suite_metrics(&Accelerator::photofourier_baseline());
     let (_, fb, _) = suite_metrics(&Accelerator::refocus_fb());
     let ratio = fb / base;
-    assert!((1.7..3.4).contains(&ratio), "FPS/W ratio = {ratio} (paper 2.2x)");
+    assert!(
+        (1.7..3.4).contains(&ratio),
+        "FPS/W ratio = {ratio} (paper 2.2x)"
+    );
 }
 
 #[test]
@@ -32,7 +38,10 @@ fn abstract_headline_area_efficiency() {
     let (_, _, base) = suite_metrics(&Accelerator::photofourier_baseline());
     let (_, _, fb) = suite_metrics(&Accelerator::refocus_fb());
     let ratio = fb / base;
-    assert!((1.15..1.65).contains(&ratio), "FPS/mm2 ratio = {ratio} (paper 1.36x)");
+    assert!(
+        (1.15..1.65).contains(&ratio),
+        "FPS/mm2 ratio = {ratio} (paper 1.36x)"
+    );
 }
 
 #[test]
@@ -77,7 +86,10 @@ fn up_to_25x_over_albireo_and_145x_over_holylight() {
     let albireo = max_advantage_over("Albireo");
     let holylight = max_advantage_over("HolyLight-m");
     assert!((10.0..60.0).contains(&albireo), "albireo = {albireo}");
-    assert!((60.0..400.0).contains(&holylight), "holylight = {holylight}");
+    assert!(
+        (60.0..400.0).contains(&holylight),
+        "holylight = {holylight}"
+    );
 }
 
 #[test]
@@ -97,7 +109,14 @@ fn table4_rfcu_row_via_public_api() {
 fn table5_reproduced_exactly() {
     use refocus::photonics::buffer::FeedbackBuffer;
     use refocus::photonics::units::GigaHertz;
-    let paper = [(1u32, 2.05), (3, 2.56), (7, 3.05), (15, 3.87), (31, 5.96), (63, 13.7)];
+    let paper = [
+        (1u32, 2.05),
+        (3, 2.56),
+        (7, 3.05),
+        (15, 3.87),
+        (31, 5.96),
+        (63, 13.7),
+    ];
     for (r, want) in paper {
         let buf = FeedbackBuffer::with_optimal_split(r, 16, GigaHertz::new(10.0)).unwrap();
         let got = buf.relative_laser_power();
@@ -108,7 +127,7 @@ fn table5_reproduced_exactly() {
 #[test]
 fn every_paper_artifact_regenerates() {
     let all = refocus::experiments::all_experiments();
-    assert_eq!(all.len(), 18);
+    assert_eq!(all.len(), 19);
     for e in &all {
         assert!(!e.render().is_empty(), "{}", e.id);
     }

@@ -1,0 +1,241 @@
+//! Offline vendored stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`] — with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed
+//! samples, and prints the per-iteration mean and min. Good enough to
+//! compare hot paths locally; not a replacement for real criterion's
+//! outlier rejection and regression tracking.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Returns its argument, preventing the optimizer from deleting the
+/// computation that produced it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. All variants behave the
+/// same here (setup always runs once per iteration, untimed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times a single benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Self {
+        Bencher {
+            iterations,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, called `iterations` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iterations as u32);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / self.iterations as u32);
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) {
+        // Warm-up sample (discarded), then timed samples.
+        let mut warmup = Bencher::new(1);
+        body(&mut warmup);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher::new(1);
+            body(&mut bencher);
+            samples.extend(bencher.samples);
+        }
+        if samples.is_empty() {
+            println!("{id:<40} (no measurement: bencher not exercised)");
+            return;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{id:<40} mean {:>10}   min {:>10}   ({} samples)",
+            format_duration(mean),
+            format_duration(min),
+            samples.len()
+        );
+    }
+
+    /// Defines and immediately runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        body: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id, body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Defines and immediately runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        body: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.parent.run_one(&id, body);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.parent.sample_size = samples;
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, in either criterion form:
+/// `criterion_group!(benches, bench_a, bench_b)` or
+/// `criterion_group!{name = benches; config = Criterion::default(); targets = bench_a}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates a `main` that runs the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut counter = 0u64;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("count", |b| b.iter(|| counter += 1));
+        // 1 warm-up + 3 samples, one iteration each.
+        assert_eq!(counter, 4);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_outputs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

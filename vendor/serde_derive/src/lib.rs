@@ -1,0 +1,518 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! subset of Rust items this workspace actually derives on:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple structs (newtypes serialize transparently as their inner
+//!   value, wider tuples as sequences),
+//! * unit structs,
+//! * enums with unit, named-field, and tuple variants (externally
+//!   tagged, matching serde's default JSON representation).
+//!
+//! Generic items are rejected with a compile error. The implementation
+//! parses the raw [`proc_macro::TokenStream`] by hand (the registry
+//! mirror is unreachable in this build environment, so `syn`/`quote`
+//! are unavailable) and emits impls of the value-tree `serde` traits
+//! defined by the vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (on `{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: Kind::UnitStruct,
+            },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Advances past `#[...]` attributes (doc comments included), reporting
+/// whether any of them was exactly `#[serde(skip)]` (possibly among a
+/// comma-separated list like `#[serde(skip, default)]`).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut saw_skip = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        saw_skip |= attr_is_serde_skip(g.stream());
+                        *i += 1;
+                    }
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            _ => return saw_skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past one type expression, stopping at a top-level `,`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Consume the trailing comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut code =
+                String::from("let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                let _ = writeln!(
+                    code,
+                    "fields.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                );
+            }
+            code.push_str("::serde::Value::Map(fields)");
+            code
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut inner = String::from(
+                            "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let _ = writeln!(
+                                inner,
+                                "fields.push((String::from(\"{0}\"), ::serde::Serialize::to_value({0})));",
+                                f.name
+                            );
+                        }
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => {{\n{inner}\n::serde::Value::Map(vec![(String::from(\"{vname}\"), ::serde::Value::Map(fields))])\n}},",
+                            binders.join(", ")
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(String::from(\"{vname}\"), {payload})]),",
+                            binders.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    let _ = writeln!(inits, "{}: ::core::default::Default::default(),", f.name);
+                } else {
+                    let _ = writeln!(
+                        inits,
+                        "{0}: match entries.iter().find(|(k, _)| k.as_str() == \"{0}\") {{\n\
+                             Some((_, v)) => ::serde::Deserialize::from_value(v)?,\n\
+                             None => return Err(::serde::Error::custom(\n\
+                                 \"missing field `{0}` for `{name}`\")),\n\
+                         }},",
+                        f.name
+                    );
+                }
+            }
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Map(entries) => Ok({name} {{\n{inits}\n}}),\n\
+                     other => Err(::serde::Error::custom(format!(\n\
+                         \"expected map for `{name}`, got {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                         Ok({name}({})),\n\
+                     other => Err(::serde::Error::custom(format!(\n\
+                         \"expected sequence of {n} for `{name}`, got {{}}\", other.kind()))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("{{ let _ = value; Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, VariantFields::Unit))
+                .collect();
+
+            let mut unit_arms = String::new();
+            for v in &unit {
+                let _ = writeln!(unit_arms, "\"{0}\" => Ok({name}::{0}),", v.name);
+            }
+
+            let mut data_arms = String::new();
+            for v in &data {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unreachable!(),
+                    VariantFields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                let _ = writeln!(
+                                    inits,
+                                    "{}: ::core::default::Default::default(),",
+                                    f.name
+                                );
+                            } else {
+                                let _ = writeln!(
+                                    inits,
+                                    "{0}: match entries.iter().find(|(k, _)| k.as_str() == \"{0}\") {{\n\
+                                         Some((_, v)) => ::serde::Deserialize::from_value(v)?,\n\
+                                         None => return Err(::serde::Error::custom(\n\
+                                             \"missing field `{0}` for `{name}::{vname}`\")),\n\
+                                     }},",
+                                    f.name
+                                );
+                            }
+                        }
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vname}\" => match payload {{\n\
+                                 ::serde::Value::Map(entries) => Ok({name}::{vname} {{\n{inits}\n}}),\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"expected map for `{name}::{vname}`, got {{}}\", other.kind()))),\n\
+                             }},"
+                        );
+                    }
+                    VariantFields::Tuple(1) => {
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vname}\" => match payload {{\n\
+                                 ::serde::Value::Seq(items) if items.len() == {n} => \
+                                     Ok({name}::{vname}({})),\n\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"expected sequence of {n} for `{name}::{vname}`, got {{}}\", other.kind()))),\n\
+                             }},",
+                            items.join(", ")
+                        );
+                    }
+                }
+            }
+
+            let str_arm = if unit.is_empty() {
+                format!(
+                    "::serde::Value::Str(_) => Err(::serde::Error::custom(\n\
+                         \"`{name}` has no unit variants\")),"
+                )
+            } else {
+                format!(
+                    "::serde::Value::Str(tag) => match tag.as_str() {{\n{unit_arms}\n\
+                         other => Err(::serde::Error::custom(format!(\n\
+                             \"unknown variant `{{other}}` for `{name}`\"))),\n\
+                     }},"
+                )
+            };
+            let map_arm = if data.is_empty() {
+                format!(
+                    "::serde::Value::Map(_) => Err(::serde::Error::custom(\n\
+                         \"`{name}` has no data-carrying variants\")),"
+                )
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n{data_arms}\n\
+                             other => Err(::serde::Error::custom(format!(\n\
+                                 \"unknown variant `{{other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }},"
+                )
+            };
+            format!(
+                "match value {{\n\
+                     {str_arm}\n\
+                     {map_arm}\n\
+                     other => Err(::serde::Error::custom(format!(\n\
+                         \"expected variant of `{name}`, got {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,422 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! JSON emission and parsing over the vendored `serde` value tree.
+//! Supports everything the workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and [`to_value`].
+//!
+//! Numbers: `f64` values are written with Rust's shortest-round-trip
+//! `Display`, so `serialize → parse` reproduces the exact bit pattern
+//! (required by the workspace's report round-trip tests). Non-finite
+//! floats cannot be represented in JSON and produce an [`Error`].
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Lowers any serializable value to the [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` to a human-readable JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text and rebuilds a deserializable value.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_str(text)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON text into the raw [`Value`] tree.
+pub fn parse_value_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {pos} of JSON input"
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_value(
+    value: &Value,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::custom(format!(
+                    "cannot serialize non-finite float {x} as JSON"
+                )));
+            }
+            // Rust's Display for f64 is the shortest string that parses
+            // back to the same value, and appends no suffix — valid JSON
+            // except that integral floats print without a decimal point,
+            // which is still valid JSON.
+            out.push_str(&x.to_string());
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::custom("unexpected end of JSON input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected `,` or `]` in array, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::custom("expected `:` after object key"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected `,` or `}}` in object, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error::custom(format!("invalid JSON literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::custom(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::custom("unterminated JSON string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let first = parse_hex4(bytes, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // Surrogate pair: expect a \uXXXX low surrogate.
+                            if bytes.get(*pos + 1) == Some(&b'\\')
+                                && bytes.get(*pos + 2) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let second = parse_hex4(bytes, pos)?;
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                return Err(Error::custom("lone high surrogate in string"));
+                            }
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::custom("invalid unicode escape"))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error::custom(format!("invalid escape {other:?}")));
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so the
+                // bytes are valid UTF-8 by construction).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parses the 4 hex digits after `\u`; on entry `pos` is at the `u`.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    let start = *pos + 1;
+    let hex = bytes
+        .get(start..start + 4)
+        .ok_or_else(|| Error::custom("truncated unicode escape"))?;
+    let hex = std::str::from_utf8(hex).map_err(|_| Error::custom("invalid unicode escape"))?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid unicode escape"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::custom("invalid number"))?;
+    if text.is_empty() {
+        return Err(Error::custom(format!(
+            "unexpected character at byte {start} of JSON input"
+        )));
+    }
+    let is_float = text.contains(['.', 'e', 'E']);
+    if !is_float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if stripped.parse::<u64>().is_ok() || text.parse::<i64>().is_ok() {
+                return text
+                    .parse::<i64>()
+                    .map(Value::I64)
+                    .or_else(|_| text.parse::<f64>().map(Value::F64))
+                    .map_err(|_| Error::custom(format!("invalid number `{text}`")));
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::U64(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Seq(vec![Value::F64(1.5), Value::Null])),
+            ("c".into(), Value::Str("x\"y\n".into())),
+        ]);
+        let mut out = String::new();
+        write_value(&v, &mut out, None, 0).unwrap();
+        assert_eq!(out, r#"{"a":1,"b":[1.5,null],"c":"x\"y\n"}"#);
+        assert_eq!(parse_value_str(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let v = Value::Map(vec![(
+            "nested".into(),
+            Value::Map(vec![("k".into(), Value::Bool(true))]),
+        )]);
+        let mut out = String::new();
+        write_value(&v, &mut out, Some(2), 0).unwrap();
+        assert!(out.contains("\n  "));
+        assert_eq!(parse_value_str(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn float_bit_exact_round_trip() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 123456.789e12, f64::MIN_POSITIVE] {
+            let text = Value::F64(x);
+            let mut out = String::new();
+            write_value(&text, &mut out, None, 0).unwrap();
+            match parse_value_str(&out).unwrap() {
+                Value::F64(back) => assert_eq!(back.to_bits(), x.to_bits(), "{x}"),
+                Value::U64(back) => assert_eq!(back as f64, x),
+                Value::I64(back) => assert_eq!(back as f64, x),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let mut out = String::new();
+        assert!(write_value(&Value::F64(f64::NAN), &mut out, None, 0).is_err());
+    }
+
+    #[test]
+    fn negative_integers_parse_as_i64() {
+        assert_eq!(parse_value_str("-42").unwrap(), Value::I64(-42));
+        assert_eq!(parse_value_str("42").unwrap(), Value::U64(42));
+        assert_eq!(parse_value_str("4.5").unwrap(), Value::F64(4.5));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            parse_value_str(r#""é😀""#).unwrap(),
+            Value::Str("é😀".into())
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_value_str("1 2").is_err());
+        assert!(parse_value_str("{").is_err());
+    }
+}
