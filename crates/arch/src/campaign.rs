@@ -223,13 +223,18 @@ impl FaultCampaign {
             .map_err(sim_error_from_functional)?;
         let reference_peak = reference.data().iter().fold(0.0f64, |m, v| m.max(v.abs()));
 
-        let mut cells = Vec::with_capacity(self.severities.len() * self.seeds.len());
-        let mut rows = Vec::with_capacity(self.severities.len());
-        for &severity in &self.severities {
-            let scaled = self.spec.scaled(severity);
-            let mut max_errors = Vec::with_capacity(self.seeds.len());
-            let mut rms_errors = Vec::with_capacity(self.seeds.len());
-            for &seed in &self.seeds {
+        // Every (severity, seed) cell is independent: each gets its own
+        // executor and injector, so the whole grid fans out onto the
+        // pool. Cell order in the report is grid order regardless of
+        // which cell finishes first.
+        let grid: Vec<(f64, u64)> = self
+            .severities
+            .iter()
+            .flat_map(|&severity| self.seeds.iter().map(move |&seed| (severity, seed)))
+            .collect();
+        let cell_results: Vec<Result<CampaignCell, SimError>> =
+            refocus_par::par_map(&grid, |&(severity, seed)| {
+                let scaled = self.spec.scaled(severity);
                 let exec = OpticalExecutor::new(&self.config, Jtc::ideal())
                     .with_faults(FaultInjector::new(scaled, seed));
                 let faulted = exec
@@ -241,22 +246,39 @@ impl FaultCampaign {
                     )
                     .map_err(sim_error_from_functional)?;
                 let (max_abs, rms) = error_stats(&faulted, &reference);
-                cells.push(CampaignCell {
+                Ok(CampaignCell {
                     severity,
                     seed,
                     max_abs_error: max_abs,
                     rms_error: rms,
-                });
-                max_errors.push(max_abs);
-                rms_errors.push(rms);
-            }
-            rows.push(CampaignRow {
-                severity,
-                mean_max_abs_error: mean(&max_errors),
-                worst_max_abs_error: max_errors.iter().fold(0.0f64, |m, &v| m.max(v)),
-                mean_rms_error: mean(&rms_errors),
+                })
             });
-        }
+        let cells = cell_results
+            .into_iter()
+            .collect::<Result<Vec<CampaignCell>, SimError>>()?;
+
+        let rows: Vec<CampaignRow> = self
+            .severities
+            .iter()
+            .map(|&severity| {
+                let max_errors: Vec<f64> = cells
+                    .iter()
+                    .filter(|c| c.severity == severity)
+                    .map(|c| c.max_abs_error)
+                    .collect();
+                let rms_errors: Vec<f64> = cells
+                    .iter()
+                    .filter(|c| c.severity == severity)
+                    .map(|c| c.rms_error)
+                    .collect();
+                CampaignRow {
+                    severity,
+                    mean_max_abs_error: mean(&max_errors),
+                    worst_max_abs_error: max_errors.iter().fold(0.0f64, |m, &v| m.max(v)),
+                    mean_rms_error: mean(&rms_errors),
+                }
+            })
+            .collect();
 
         Ok(CampaignReport {
             config_name: self.config.name.clone(),

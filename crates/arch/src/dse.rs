@@ -118,25 +118,32 @@ pub fn sweep_with_budget(
     suite: &[Network],
     budget_mm2: f64,
 ) -> Result<Vec<DseRow>, SimError> {
-    // Per-network metric vectors for each M.
+    // Per-delay-length sample: (M, N_RFCU, per-network FPS/W, FPS/mm²).
+    type PerM = (u32, usize, Vec<f64>, Vec<f64>);
+
+    // Design points are independent, so the whole sweep fans out onto
+    // the pool; results come back in sweep order.
     let mut rows = Vec::with_capacity(TABLE4_DELAY_CYCLES.len());
-    let mut per_m: Vec<(u32, usize, Vec<f64>, Vec<f64>)> = Vec::new();
-    for &m in &TABLE4_DELAY_CYCLES {
-        let n = max_rfcus(variant, m, budget_mm2);
-        let cfg = design_point(variant, m, n);
-        let report = simulate_suite(suite, &cfg)?;
-        let fps_w: Vec<f64> = report
-            .reports
-            .iter()
-            .map(|r| r.metrics.fps_per_watt())
-            .collect();
-        let fps_mm2: Vec<f64> = report
-            .reports
-            .iter()
-            .map(|r| r.metrics.fps_per_mm2())
-            .collect();
-        per_m.push((m, n, fps_w, fps_mm2));
-    }
+    let per_m_results: Vec<Result<PerM, SimError>> =
+        refocus_par::par_map(&TABLE4_DELAY_CYCLES, |&m| {
+            let n = max_rfcus(variant, m, budget_mm2);
+            let cfg = design_point(variant, m, n);
+            let report = simulate_suite(suite, &cfg)?;
+            let fps_w: Vec<f64> = report
+                .reports
+                .iter()
+                .map(|r| r.metrics.fps_per_watt())
+                .collect();
+            let fps_mm2: Vec<f64> = report
+                .reports
+                .iter()
+                .map(|r| r.metrics.fps_per_mm2())
+                .collect();
+            Ok((m, n, fps_w, fps_mm2))
+        });
+    let per_m = per_m_results
+        .into_iter()
+        .collect::<Result<Vec<PerM>, SimError>>()?;
     let (_, _, base_w, base_mm2) = per_m[0].clone();
     for (m, n, fps_w, fps_mm2) in per_m {
         let rel_w = geomean_ratio(&fps_w, &base_w);

@@ -131,22 +131,14 @@ impl OpticalExecutor {
         self.passes.get()
     }
 
-    /// Runs one 1-D valid correlation through the optical JTC.
-    fn optical_pass(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
-        self.passes.set(self.passes.get() + 1);
-        let out = match &self.faults {
-            Some(faults) => {
-                self.jtc
-                    .correlate_with_faults(signal, kernel, &mut faults.borrow_mut())
-            }
-            None => self.jtc.correlate(signal, kernel),
-        }
-        .expect("tiling guarantees non-negative, well-sized operands");
-        out.valid().to_vec()
-    }
-
     /// Computes `conv2d(input, weights)` (stride/padding like
     /// [`refocus_nn::conv::conv2d`]) entirely through optical passes.
+    ///
+    /// Output channels execute in parallel on the [`refocus_par`] pool.
+    /// Results are bit-identical at every thread count: each channel
+    /// derives its fault/noise stream purely from the layer's fan-out
+    /// epoch and its own index (see [`FaultInjector::for_work_item`]),
+    /// never from execution order.
     ///
     /// # Errors
     ///
@@ -159,6 +151,44 @@ impl OpticalExecutor {
         stride: usize,
         padding: usize,
     ) -> Result<Tensor3, FunctionalError> {
+        // Reserving the epoch is the only sequential fault-state step;
+        // everything downstream is a pure function of (seed, epoch, o).
+        let epoch = self
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.borrow_mut().reserve_epochs(1));
+        let snapshot: Option<FaultInjector> = self.faults.as_ref().map(|f| f.borrow().clone());
+        let (out, passes) = Self::conv2d_core(
+            &self.jtc,
+            self.tile,
+            self.mode,
+            input,
+            weights,
+            stride,
+            padding,
+            snapshot.as_ref(),
+            epoch,
+        )?;
+        self.passes.set(self.passes.get() + passes);
+        Ok(out)
+    }
+
+    /// The cell-free convolution kernel shared by [`OpticalExecutor::conv2d`]
+    /// and [`OpticalExecutor::conv2d_with_feedback_reuse`]: no interior
+    /// mutability, so per-channel workers can run on pool threads. Returns
+    /// the output tensor and the number of optical passes performed.
+    #[allow(clippy::too_many_arguments)]
+    fn conv2d_core(
+        jtc: &Jtc,
+        tile: usize,
+        mode: TilingMode,
+        input: &Tensor3,
+        weights: &Tensor4,
+        stride: usize,
+        padding: usize,
+        faults: Option<&FaultInjector>,
+        epoch: u64,
+    ) -> Result<(Tensor3, u64), FunctionalError> {
         if input.data().iter().any(|&v| v < 0.0) {
             return Err(FunctionalError::NegativeActivation);
         }
@@ -196,37 +226,66 @@ impl OpticalExecutor {
         let out_h = (full_h - 1) / stride + 1;
         let out_w = (full_w - 1) / stride + 1;
 
-        let mut out = Tensor3::zeros(weights.out_channels(), out_h, out_w);
-        for o in 0..weights.out_channels() {
-            // Accumulate positive and negative halves over channels.
-            let mut pos = vec![vec![0.0; full_w]; full_h];
-            let mut neg = vec![vec![0.0; full_w]; full_h];
-            for i in 0..input.channels() {
-                let rows: Vec<Vec<f64>> =
-                    padded.channel_rows(i).iter().map(|r| r.to_vec()).collect();
-                for (half, acc) in [
-                    (split.positive.kernel(o, i), &mut pos),
-                    (split.negative.kernel(o, i), &mut neg),
-                ] {
-                    let partial = tiled_conv2d_with(&rows, &half, self.tile, self.mode, |s, k| {
-                        self.optical_pass(s, k)
-                    })?;
-                    for (ar, pr) in acc.iter_mut().zip(&partial) {
-                        for (a, p) in ar.iter_mut().zip(pr) {
-                            *a += p;
+        // Row extraction is identical for every output channel; hoist it
+        // out of the fan-out instead of repeating it per (o, i).
+        let channel_rows: Vec<Vec<Vec<f64>>> = (0..input.channels())
+            .map(|i| padded.channel_rows(i).iter().map(|r| r.to_vec()).collect())
+            .collect();
+
+        let channels: Vec<usize> = (0..weights.out_channels()).collect();
+        let results: Vec<Result<(Vec<f64>, u64), FunctionalError>> =
+            refocus_par::par_map(&channels, |&o| {
+                let mut worker_faults = faults.map(|f| f.for_work_item(epoch, o as u64));
+                let mut local_passes = 0u64;
+                // Accumulate positive and negative halves over channels.
+                let mut pos = vec![vec![0.0; full_w]; full_h];
+                let mut neg = vec![vec![0.0; full_w]; full_h];
+                for (i, rows) in channel_rows.iter().enumerate() {
+                    for (half, acc) in [
+                        (split.positive.kernel(o, i), &mut pos),
+                        (split.negative.kernel(o, i), &mut neg),
+                    ] {
+                        let partial = tiled_conv2d_with(rows, &half, tile, mode, |s, k| {
+                            local_passes += 1;
+                            let out = match worker_faults.as_mut() {
+                                Some(fi) => jtc.correlate_with_faults(s, k, fi),
+                                None => jtc.correlate(s, k),
+                            }
+                            .expect("tiling guarantees non-negative, well-sized operands");
+                            out.valid().to_vec()
+                        })?;
+                        for (ar, pr) in acc.iter_mut().zip(&partial) {
+                            for (a, p) in ar.iter_mut().zip(pr) {
+                                *a += p;
+                            }
                         }
                     }
                 }
-            }
-            // Digital recombination + stride subsampling.
+                // Digital recombination + stride subsampling.
+                let mut flat = vec![0.0; out_h * out_w];
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        flat[oy * out_w + ox] =
+                            pos[oy * stride][ox * stride] - neg[oy * stride][ox * stride];
+                    }
+                }
+                Ok((flat, local_passes))
+            });
+
+        let mut out = Tensor3::zeros(weights.out_channels(), out_h, out_w);
+        let mut total_passes = 0u64;
+        for (o, result) in results.into_iter().enumerate() {
+            // First error in channel order — deterministic regardless of
+            // which worker hit it first on the wall clock.
+            let (flat, local_passes) = result?;
+            total_passes += local_passes;
             for oy in 0..out_h {
                 for ox in 0..out_w {
-                    let v = pos[oy * stride][ox * stride] - neg[oy * stride][ox * stride];
-                    out.set(o, oy, ox, v);
+                    out.set(o, oy, ox, flat[oy * out_w + ox]);
                 }
             }
         }
-        Ok(out)
+        Ok((out, total_passes))
     }
 
     /// Like [`OpticalExecutor::conv2d`], but models the feedback buffer's
@@ -248,35 +307,65 @@ impl OpticalExecutor {
     ) -> Result<Tensor3, FunctionalError> {
         let rescale = buffer.weight_rescale_factors();
         let period = rescale.len();
-        let mut out: Option<Tensor3> = None;
-        for o in 0..weights.out_channels() {
-            let iteration = o % period;
-            // Replayed light: attenuated input relative to iteration 0.
-            let attenuation =
-                buffer.power_at_iteration(iteration as u32) / buffer.power_at_iteration(0);
-            let mut attenuated = input.clone();
-            attenuated.map_inplace(|v| v * attenuation);
-            // Single-filter weight tensor.
-            let mut single = Tensor4::zeros(
-                1,
-                weights.in_channels(),
-                weights.kernel_h(),
-                weights.kernel_w(),
-            );
-            for i in 0..weights.in_channels() {
-                for ky in 0..weights.kernel_h() {
-                    for kx in 0..weights.kernel_w() {
-                        single.set(0, i, ky, kx, weights.get(o, i, ky, kx));
+        let out_channels = weights.out_channels();
+        // One epoch per single-filter convolution — the same reservation
+        // the serial per-filter conv2d calls would have made, so fault
+        // streams agree between this path and a filter-at-a-time run.
+        let first_epoch = self
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.borrow_mut().reserve_epochs(out_channels as u64));
+        let snapshot: Option<FaultInjector> = self.faults.as_ref().map(|f| f.borrow().clone());
+        let jtc = &self.jtc;
+        let (tile, mode) = (self.tile, self.mode);
+
+        let channels: Vec<usize> = (0..out_channels).collect();
+        let results: Vec<Result<(Tensor3, u64), FunctionalError>> =
+            refocus_par::par_map(&channels, |&o| {
+                let iteration = o % period;
+                // Replayed light: attenuated input relative to iteration 0.
+                let attenuation =
+                    buffer.power_at_iteration(iteration as u32) / buffer.power_at_iteration(0);
+                let mut attenuated = input.clone();
+                attenuated.map_inplace(|v| v * attenuation);
+                // Single-filter weight tensor.
+                let mut single = Tensor4::zeros(
+                    1,
+                    weights.in_channels(),
+                    weights.kernel_h(),
+                    weights.kernel_w(),
+                );
+                for i in 0..weights.in_channels() {
+                    for ky in 0..weights.kernel_h() {
+                        for kx in 0..weights.kernel_w() {
+                            single.set(0, i, ky, kx, weights.get(o, i, ky, kx));
+                        }
                     }
                 }
-            }
-            let mut partial = self.conv2d(&attenuated, &single, stride, padding)?;
-            // Digital rescale: ρ^-iteration relative to iteration 0.
-            let factor = rescale[iteration] / rescale[0];
-            partial.map_inplace(|v| v * factor);
+                let (mut partial, local_passes) = Self::conv2d_core(
+                    jtc,
+                    tile,
+                    mode,
+                    &attenuated,
+                    &single,
+                    stride,
+                    padding,
+                    snapshot.as_ref(),
+                    first_epoch + o as u64,
+                )?;
+                // Digital rescale: ρ^-iteration relative to iteration 0.
+                let factor = rescale[iteration] / rescale[0];
+                partial.map_inplace(|v| v * factor);
+                Ok((partial, local_passes))
+            });
 
+        let mut out: Option<Tensor3> = None;
+        let mut total_passes = 0u64;
+        for (o, result) in results.into_iter().enumerate() {
+            let (partial, local_passes) = result?;
+            total_passes += local_passes;
             let result = out.get_or_insert_with(|| {
-                Tensor3::zeros(weights.out_channels(), partial.height(), partial.width())
+                Tensor3::zeros(out_channels, partial.height(), partial.width())
             });
             for y in 0..partial.height() {
                 for x in 0..partial.width() {
@@ -284,6 +373,7 @@ impl OpticalExecutor {
                 }
             }
         }
+        self.passes.set(self.passes.get() + total_passes);
         Ok(out.expect("at least one output filter"))
     }
 }

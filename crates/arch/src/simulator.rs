@@ -247,9 +247,10 @@ pub fn simulate_suite(
     if suite.is_empty() {
         return Err(SimError::EmptySuite);
     }
-    let reports = suite
-        .iter()
-        .map(|net| simulate(net, config))
+    // Networks simulate independently; fan out onto the pool and keep
+    // suite order (and the first error in suite order) deterministic.
+    let reports = refocus_par::par_map(suite, |net| simulate(net, config))
+        .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
     Ok(SuiteReport {
         config_name: config.name.clone(),

@@ -1,0 +1,212 @@
+//! Machine-readable substrate baseline: times the FFT kernels, the
+//! optical convolution, and the fault campaign with plain wall-clock
+//! measurement, verifies the serial/parallel bit-identity contract, and
+//! writes `BENCH_substrate.json` at the repository root.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p refocus-bench --bench substrate_json
+//! ```
+//!
+//! Unlike the criterion targets this emits a stable JSON file meant to
+//! be checked in, so successive PRs can diff the substrate's wall-clock
+//! profile. Numbers are medians over fixed rep counts on whatever
+//! machine ran them — compare trends, not absolutes, across machines.
+
+use refocus_arch::campaign::{FaultCampaign, Workload};
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::functional::OpticalExecutor;
+use refocus_nn::tensor::{Tensor3, Tensor4};
+use refocus_photonics::complex::Complex64;
+use refocus_photonics::faults::FaultSpec;
+use refocus_photonics::fft::{fft, rfft};
+use refocus_photonics::jtc::Jtc;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchEntry {
+    name: String,
+    reps: usize,
+    median_ns: u64,
+    mean_ns: u64,
+}
+
+#[derive(Serialize)]
+struct Checks {
+    conv2d_serial_parallel_bit_identical: bool,
+    campaign_serial_parallel_bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Speedups {
+    /// Serial / parallel median time of the optical conv2d (>1 means
+    /// the pool helped; ~1 on a single-core host).
+    conv2d: f64,
+    /// Serial / parallel median time of the fault campaign grid.
+    campaign: f64,
+    /// Complex-FFT / real-FFT median time at n = 1024 (the rfft fast
+    /// path's win on real input planes).
+    rfft_vs_fft_1024: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    threads_available: usize,
+    threads_used: usize,
+    checks: Checks,
+    speedups: Speedups,
+    benches: Vec<BenchEntry>,
+}
+
+/// Times `reps` calls of `f`, returning (median, mean) nanoseconds.
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (u64, u64) {
+    assert!(reps > 0);
+    // One warm-up call primes thread-local FFT plan caches so the
+    // measured reps see steady state.
+    std::hint::black_box(f());
+    let mut samples: Vec<u64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    (median, mean)
+}
+
+fn entry<R>(name: &str, reps: usize, f: impl FnMut() -> R) -> BenchEntry {
+    let (median_ns, mean_ns) = time(reps, f);
+    println!("{name}: median {median_ns} ns over {reps} reps");
+    BenchEntry {
+        name: name.to_string(),
+        reps,
+        median_ns,
+        mean_ns,
+    }
+}
+
+fn campaign() -> FaultCampaign {
+    let spec = FaultSpec::none()
+        .with_stuck_weights(0.02, 0.0)
+        .with_dead_pixel_rate(0.02)
+        .with_laser_drift(0.002, 0.05);
+    FaultCampaign::new(AcceleratorConfig::refocus_fb(), spec)
+        .with_severities(&[0.0, 1.0, 2.0, 4.0])
+        .with_seeds(&[1, 2, 3])
+        .with_workload(Workload {
+            height: 8,
+            width: 8,
+            out_channels: 2,
+            ..Workload::default()
+        })
+}
+
+fn main() {
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_used = refocus_par::max_threads();
+    let mut benches = Vec::new();
+
+    // FFT kernels.
+    let complex_signal: Vec<Complex64> = (0..1024)
+        .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+        .collect();
+    let real_signal: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.13).sin()).collect();
+    benches.push(entry("fft_radix2_1024", 400, || {
+        let mut s = complex_signal.clone();
+        fft(&mut s);
+        s
+    }));
+    benches.push(entry("rfft_1024", 400, || rfft(&real_signal)));
+    let bluestein_signal: Vec<Complex64> = (0..1000)
+        .map(|i| Complex64::new((i as f64 * 0.13).sin(), 0.0))
+        .collect();
+    benches.push(entry("fft_bluestein_1000", 200, || {
+        let mut s = bluestein_signal.clone();
+        fft(&mut s);
+        s
+    }));
+
+    // One optical pass through the field-level JTC.
+    let jtc = Jtc::ideal();
+    let signal: Vec<f64> = (0..224).map(|i| (i as f64 * 0.1).sin().abs()).collect();
+    let kernel: Vec<f64> = (0..9).map(|i| 0.1 * (i + 1) as f64).collect();
+    benches.push(entry("jtc_pass_ideal_224x9", 200, || {
+        jtc.correlate(&signal, &kernel).unwrap()
+    }));
+
+    // Optical conv2d, serial vs parallel.
+    let input = Tensor3::random(3, 12, 12, 0.0, 1.0, 1);
+    let weights = Tensor4::random(8, 3, 3, 3, -1.0, 1.0, 2);
+    let conv = || {
+        OpticalExecutor::ideal()
+            .conv2d(&input, &weights, 1, 1)
+            .unwrap()
+    };
+    let conv_serial = refocus_par::with_threads(1, || entry("optical_conv2d_serial", 30, conv));
+    let conv_parallel = entry("optical_conv2d_parallel", 30, conv);
+    let conv_speedup = conv_serial.median_ns as f64 / conv_parallel.median_ns as f64;
+    let conv_identical = refocus_par::with_threads(1, conv).data()
+        == refocus_par::with_threads(threads_used, conv).data();
+    benches.push(conv_serial);
+    benches.push(conv_parallel);
+
+    // Fault campaign grid, serial vs parallel.
+    let grid = campaign();
+    let run = || grid.run().unwrap();
+    let camp_serial = refocus_par::with_threads(1, || entry("fault_campaign_serial", 15, run));
+    let camp_parallel = entry("fault_campaign_parallel", 15, run);
+    let camp_speedup = camp_serial.median_ns as f64 / camp_parallel.median_ns as f64;
+    let camp_identical =
+        refocus_par::with_threads(1, run) == refocus_par::with_threads(threads_used, run);
+    benches.push(camp_serial);
+    benches.push(camp_parallel);
+
+    let rfft_speedup = benches
+        .iter()
+        .find(|b| b.name == "fft_radix2_1024")
+        .map(|b| b.median_ns)
+        .unwrap() as f64
+        / benches
+            .iter()
+            .find(|b| b.name == "rfft_1024")
+            .map(|b| b.median_ns)
+            .unwrap() as f64;
+
+    let report = Report {
+        schema: "refocus-bench-substrate/v1",
+        threads_available,
+        threads_used,
+        checks: Checks {
+            conv2d_serial_parallel_bit_identical: conv_identical,
+            campaign_serial_parallel_bit_identical: camp_identical,
+        },
+        speedups: Speedups {
+            conv2d: conv_speedup,
+            campaign: camp_speedup,
+            rfft_vs_fft_1024: rfft_speedup,
+        },
+        benches,
+    };
+
+    assert!(
+        report.checks.conv2d_serial_parallel_bit_identical,
+        "conv2d serial/parallel results diverged"
+    );
+    assert!(
+        report.checks.campaign_serial_parallel_bit_identical,
+        "campaign serial/parallel results diverged"
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_substrate.json");
+    println!(
+        "wrote {path}: conv2d speedup {:.2}x, campaign speedup {:.2}x, rfft vs fft {:.2}x ({} thread(s))",
+        report.speedups.conv2d, report.speedups.campaign, report.speedups.rfft_vs_fft_1024, threads_used
+    );
+}

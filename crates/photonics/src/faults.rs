@@ -263,6 +263,20 @@ const SALT_LOSS: u64 = 0x4c4f_5353_2121;
 /// Stateful only in its *pass counter* (which drives the laser drift
 /// random walk) and the optional composed [`NoiseModel`]; all fault
 /// site decisions are pure functions of `(seed, site)`.
+///
+/// # Parallel execution and work-item streams
+///
+/// Fault *sites* (stuck taps, dead pixels, buffer loss draws) are pure
+/// functions of `(seed, site index)`, so they are identical no matter
+/// which thread evaluates them. The *sequential* state — the drift
+/// walk and composed noise stream — is order-dependent, so parallel
+/// fan-outs must not share one injector. Instead, the owning executor
+/// calls [`FaultInjector::reserve_epochs`] once per fan-out and derives
+/// one child per work item with [`FaultInjector::for_work_item`]. The
+/// child keeps the parent's seed (same fault sites) but walks an
+/// independent drift/noise stream determined purely by
+/// `(seed, epoch, item)` — never by scheduling order — so serial and
+/// parallel execution produce bit-identical results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultInjector {
     spec: FaultSpec,
@@ -273,6 +287,16 @@ pub struct FaultInjector {
     drift: f64,
     /// Optional composed analog noise, applied after structural faults.
     noise: Option<NoiseModel>,
+    /// Stream discriminator mixed into the drift salt. Zero on every
+    /// directly-constructed injector (preserving the original drift
+    /// sequence); nonzero on [`FaultInjector::for_work_item`] children.
+    /// Runtime-only: not part of the persisted fault configuration.
+    #[serde(skip)]
+    stream: u64,
+    /// Fan-out epochs reserved so far (see [`FaultInjector::reserve_epochs`]).
+    /// Runtime-only: not part of the persisted fault configuration.
+    #[serde(skip)]
+    epochs: u64,
 }
 
 impl FaultInjector {
@@ -292,6 +316,8 @@ impl FaultInjector {
             passes: 0,
             drift: 0.0,
             noise: None,
+            stream: 0,
+            epochs: 0,
         }
     }
 
@@ -317,13 +343,60 @@ impl FaultInjector {
         self.passes
     }
 
-    /// Rewinds all stream state (drift walk, pass counter, composed
-    /// noise) so the exact fault sequence replays.
+    /// Rewinds all stream state (drift walk, pass counter, reserved
+    /// epochs, composed noise) so the exact fault sequence replays.
     pub fn reset(&mut self) {
         self.passes = 0;
         self.drift = 0.0;
+        self.epochs = 0;
         if let Some(noise) = &mut self.noise {
             noise.reset();
+        }
+    }
+
+    /// Reserves `count` fan-out epochs and returns the first reserved
+    /// epoch index.
+    ///
+    /// An *epoch* labels one parallel fan-out (e.g. one convolution
+    /// layer's sweep over output channels). Reserving from the parent
+    /// injector is the only sequential step; everything derived from the
+    /// returned index via [`FaultInjector::for_work_item`] is a pure
+    /// function, so the fan-out itself can run in any order on any
+    /// number of threads. [`FaultInjector::reset`] rewinds the epoch
+    /// counter along with the rest of the stream state, so a replayed
+    /// run reserves — and therefore derives — the same streams.
+    pub fn reserve_epochs(&mut self, count: u64) -> u64 {
+        let first = self.epochs;
+        self.epochs += count;
+        first
+    }
+
+    /// Derives the injector for work item `item` of fan-out `epoch`.
+    ///
+    /// The child shares `spec` and `seed` — so stuck-tap, dead-pixel and
+    /// buffer-loss *sites* are identical to the parent's — but walks its
+    /// own drift and noise streams, derived purely from
+    /// `(seed, epoch, item)`. Distinct `(epoch, item)` pairs get
+    /// decorrelated streams; the same pair always gets the same stream.
+    pub fn for_work_item(&self, epoch: u64, item: u64) -> FaultInjector {
+        // splitmix64-style avalanche of (epoch, item) into a stream id.
+        // The +1 offset keeps (0, 0) from colliding with the parent's
+        // stream 0 except with negligible probability.
+        let mut z = epoch
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(item)
+            .wrapping_add(1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FaultInjector {
+            spec: self.spec,
+            seed: self.seed,
+            passes: 0,
+            drift: 0.0,
+            noise: self.noise.as_ref().map(|n| n.split_indexed(z)),
+            stream: z,
+            epochs: 0,
         }
     }
 
@@ -375,7 +448,11 @@ impl FaultInjector {
     /// Advances the laser drift random walk by one optical pass and
     /// returns the current relative power factor (≈ 1 ± limit).
     pub fn laser_drift_step(&mut self) -> f64 {
-        let step = self.spec.laser_drift_sigma * normal_hash(self.seed, SALT_DRIFT, self.passes);
+        // `stream` is already avalanche-mixed, so XOR-ing it into the
+        // salt decorrelates work-item walks; stream 0 (every directly
+        // constructed injector) leaves the original sequence untouched.
+        let step = self.spec.laser_drift_sigma
+            * normal_hash(self.seed, SALT_DRIFT ^ self.stream, self.passes);
         self.passes += 1;
         let limit = self.spec.laser_drift_limit;
         self.drift = (self.drift + step).clamp(-limit, limit);
@@ -618,6 +695,67 @@ mod tests {
         inj.reset();
         let second: Vec<f64> = (0..10).map(|_| inj.laser_drift_step()).collect();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn work_item_children_keep_fault_sites_but_diverge_in_drift() {
+        let spec = FaultSpec::none()
+            .with_dead_pixel_rate(0.3)
+            .with_stuck_weights(0.3, 0.5)
+            .with_laser_drift(0.01, 0.2);
+        let mut parent = FaultInjector::new(spec, 42);
+        let epoch = parent.reserve_epochs(1);
+        let mut a = parent.for_work_item(epoch, 0);
+        let mut b = parent.for_work_item(epoch, 1);
+        // Same seed ⇒ identical structural fault sites.
+        for i in 0..256 {
+            assert_eq!(a.pixel_is_dead(i), parent.pixel_is_dead(i));
+            assert_eq!(a.weight_is_stuck(i), parent.weight_is_stuck(i));
+            assert_eq!(b.pixel_is_dead(i), parent.pixel_is_dead(i));
+        }
+        // Distinct items ⇒ decorrelated drift walks (and from the parent).
+        let wa: Vec<f64> = (0..16).map(|_| a.laser_drift_step()).collect();
+        let wb: Vec<f64> = (0..16).map(|_| b.laser_drift_step()).collect();
+        let wp: Vec<f64> = (0..16).map(|_| parent.laser_drift_step()).collect();
+        assert_ne!(wa, wb);
+        assert_ne!(wa, wp);
+        // Pure in (epoch, item): re-derivation replays the same walk.
+        let mut a2 = parent.for_work_item(epoch, 0);
+        let wa2: Vec<f64> = (0..16).map(|_| a2.laser_drift_step()).collect();
+        assert_eq!(wa, wa2);
+    }
+
+    #[test]
+    fn reserve_epochs_advances_and_reset_rewinds() {
+        let mut inj = FaultInjector::new(FaultSpec::none().with_laser_drift(0.01, 0.2), 7);
+        assert_eq!(inj.reserve_epochs(3), 0);
+        assert_eq!(inj.reserve_epochs(1), 3);
+        inj.reset();
+        assert_eq!(inj.reserve_epochs(3), 0);
+        // Distinct epochs derive distinct streams for the same item.
+        let mut e0 = inj.for_work_item(0, 0);
+        let mut e1 = inj.for_work_item(1, 0);
+        let w0: Vec<f64> = (0..16).map(|_| e0.laser_drift_step()).collect();
+        let w1: Vec<f64> = (0..16).map(|_| e1.laser_drift_step()).collect();
+        assert_ne!(w0, w1);
+    }
+
+    #[test]
+    fn work_item_noise_streams_are_independent() {
+        let noise = NoiseModel::new(5).with_relative_sigma(0.1);
+        let parent = FaultInjector::new(FaultSpec::none(), 3).with_noise(noise);
+        let mut a = parent.for_work_item(0, 0);
+        let mut b = parent.for_work_item(0, 1);
+        let mut a2 = parent.for_work_item(0, 0);
+        let sig = vec![1.0; 8];
+        let mut va = sig.clone();
+        let mut vb = sig.clone();
+        let mut va2 = sig.clone();
+        a.apply_noise(&mut va);
+        b.apply_noise(&mut vb);
+        a2.apply_noise(&mut va2);
+        assert_ne!(va, vb, "items must see independent noise");
+        assert_eq!(va, va2, "same item must replay the same noise");
     }
 
     #[test]

@@ -62,6 +62,77 @@ pub fn fft_real(x: &[f64]) -> Vec<Complex64> {
     y
 }
 
+/// Forward DFT of a real-valued signal via the packed half-length
+/// transform: the `N` reals are folded into an `N/2`-point complex FFT and
+/// unpacked with one twiddle pass, roughly halving the work of
+/// [`fft_real`]. This is the fast path for the JTC's photodetector-bound
+/// planes, which are always real-valued fields.
+///
+/// Falls back to [`fft_real`] when `N` is not a power of two (the packed
+/// split needs an even length and the half-length plan cache wants a power
+/// of two).
+///
+/// # Examples
+///
+/// ```
+/// use refocus_photonics::fft::{fft_real, rfft};
+///
+/// let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+/// for (a, b) in rfft(&x).iter().zip(&fft_real(&x)) {
+///     assert!((*a - *b).norm() < 1e-9);
+/// }
+/// ```
+pub fn rfft(x: &[f64]) -> Vec<Complex64> {
+    let n = x.len();
+    if n <= 1 || !n.is_power_of_two() {
+        return fft_real(x);
+    }
+    let half = n / 2;
+    // Pack even samples into the real lane, odd samples into the imaginary
+    // lane, and transform the half-length sequence.
+    let mut z: Vec<Complex64> = (0..half)
+        .map(|i| Complex64::new(x[2 * i], x[2 * i + 1]))
+        .collect();
+    fft(&mut z);
+    // Unpack: with E/O the half-length DFTs of the even/odd samples,
+    //   E[k] = (Z[k] + conj(Z[-k])) / 2,   O[k] = (Z[k] - conj(Z[-k])) / 2i,
+    //   X[k] = E[k] + W^k O[k],  X[k+N/2] = E[k] - W^k O[k],  W = e^(-2πi/N).
+    // The W^k table for k < N/2 is exactly the full-length plan's last
+    // butterfly stage, so the unpack borrows it from the plan cache
+    // instead of paying N/2 sin/cos evaluations per call.
+    let mut out = vec![Complex64::ZERO; n];
+    with_plan(n, |plan| {
+        let (_, offset) = *plan
+            .stage_offsets
+            .last()
+            .expect("plans always have at least one stage");
+        let w = &plan.twiddles[offset..offset + half];
+        for k in 0..half {
+            let zk = z[k];
+            let zc = z[(half - k) % half].conj();
+            let even = (zk + zc).scale(0.5);
+            let odd = (zk - zc) * Complex64::new(0.0, -0.5);
+            let t = w[k] * odd;
+            out[k] = even + t;
+            out[k + half] = even - t;
+        }
+    });
+    out
+}
+
+/// Inverse DFT (including the `1/N` scaling) of a **real-valued**
+/// spectrum, via [`rfft`]: for real `x`, `ifft(x) = conj(fft(x)) / N`.
+/// The JTC's second lens runs on exactly this shape — the Fourier-plane
+/// intensity `|E|²` after the square-law nonlinearity is real.
+pub fn ifft_real(x: &[f64]) -> Vec<Complex64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_n = 1.0 / n as f64;
+    rfft(x).into_iter().map(|v| v.conj().scale(inv_n)).collect()
+}
+
 /// Transform direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Direction {
@@ -89,16 +160,9 @@ fn transform(x: &mut [Complex64], dir: Direction) {
         // thousands of times; a thread-local plan cache amortizes twiddle
         // and permutation setup. The cache is bounded: plane sizes in this
         // workspace are small powers of two.
-        PLAN_CACHE.with(|cache| {
-            let mut cache = cache.borrow_mut();
-            let plan = cache
-                .entry(n)
-                .or_insert_with(|| std::rc::Rc::new(FftPlan::new(n)))
-                .clone();
-            match dir {
-                Direction::Forward => plan.forward(x),
-                Direction::Inverse => plan.inverse(x),
-            }
+        with_plan(n, |plan| match dir {
+            Direction::Forward => plan.forward(x),
+            Direction::Inverse => plan.inverse(x),
         });
         return;
     }
@@ -114,84 +178,101 @@ fn transform(x: &mut [Complex64], dir: Direction) {
 thread_local! {
     static PLAN_CACHE: std::cell::RefCell<std::collections::HashMap<usize, std::rc::Rc<FftPlan>>> =
         std::cell::RefCell::new(std::collections::HashMap::new());
+    static BLUESTEIN_CACHE: std::cell::RefCell<
+        std::collections::HashMap<(usize, bool), std::rc::Rc<BluesteinPlan>>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
 }
 
-/// Iterative radix-2 decimation-in-time FFT. `x.len()` must be a power of two.
-fn radix2(x: &mut [Complex64], dir: Direction) {
-    let n = x.len();
-    debug_assert!(n.is_power_of_two());
+/// Runs `f` with the cached [`FftPlan`] for power-of-two length `n`,
+/// building and caching the plan on first use.
+fn with_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
+    debug_assert!(n.is_power_of_two() && n >= 2);
+    let plan = PLAN_CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry(n)
+            .or_insert_with(|| std::rc::Rc::new(FftPlan::new(n)))
+            .clone()
+    });
+    f(&plan)
+}
 
-    // Bit-reversal permutation.
-    let shift = n.leading_zeros() + 1;
-    for i in 0..n {
-        let j = i.reverse_bits() >> shift;
-        if i < j {
-            x.swap(i, j);
-        }
-    }
+/// Precomputed state for Bluestein transforms of one (length, direction):
+/// the quadratic chirp and the forward spectrum of the chirp-conjugate
+/// convolution kernel `b`. Both depend only on `n` and the transform
+/// direction, so rebuilding them per call — as the original implementation
+/// did — wasted two of the three internal FFTs plus two O(n) trig loops on
+/// every non-power-of-two transform.
+#[derive(Debug)]
+struct BluesteinPlan {
+    /// Power-of-two circular-convolution length, `>= 2n - 1`.
+    m: usize,
+    /// `chirp[k] = e^(sign·iπk²/n)`.
+    chirp: Vec<Complex64>,
+    /// Forward FFT (length `m`) of conj(chirp) arranged circularly.
+    b_fft: Vec<Complex64>,
+}
 
-    let sign = dir.sign();
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
-        let wlen = Complex64::cis(ang);
-        for start in (0..n).step_by(len) {
-            let mut w = Complex64::ONE;
-            for k in 0..len / 2 {
-                let u = x[start + k];
-                let v = x[start + k + len / 2] * w;
-                x[start + k] = u + v;
-                x[start + k + len / 2] = u - v;
-                w *= wlen;
-            }
+impl BluesteinPlan {
+    fn new(n: usize, dir: Direction) -> Self {
+        let sign = dir.sign();
+        // Chirp: w[k] = e^(sign * i * pi * k^2 / n). Use k^2 mod 2n to keep
+        // the angle argument small and exact.
+        let two_n = 2 * n as u64;
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let k2 = (k as u64 * k as u64) % two_n;
+                Complex64::cis(sign * PI * k2 as f64 / n as f64)
+            })
+            .collect();
+
+        let m = (2 * n - 1).next_power_of_two();
+
+        // b[k] = conj(chirp[k]) arranged circularly (b[-k] = b[m-k]).
+        let mut b = vec![Complex64::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            let c = chirp[k].conj();
+            b[k] = c;
+            b[m - k] = c;
         }
-        len <<= 1;
+        with_plan(m, |plan| plan.forward(&mut b));
+        BluesteinPlan { m, chirp, b_fft: b }
     }
 }
 
 /// Bluestein's chirp-z transform: DFT of arbitrary length via a
-/// power-of-two-length circular convolution.
+/// power-of-two-length circular convolution. The chirp and the kernel
+/// spectrum come from the per-(length, direction) plan cache; the two
+/// remaining internal transforms run through the shared [`FftPlan`] cache.
 fn bluestein(x: &mut [Complex64], dir: Direction) {
     let n = x.len();
-    let sign = dir.sign();
-
-    // Chirp: w[k] = e^(sign * i * pi * k^2 / n). Use k^2 mod 2n to keep the
-    // angle argument small and exact.
-    let two_n = 2 * n as u64;
-    let chirp: Vec<Complex64> = (0..n)
-        .map(|k| {
-            let k2 = (k as u64 * k as u64) % two_n;
-            Complex64::cis(sign * PI * k2 as f64 / n as f64)
-        })
-        .collect();
-
-    let m = (2 * n - 1).next_power_of_two();
+    let plan = BLUESTEIN_CACHE.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry((n, dir == Direction::Forward))
+            .or_insert_with(|| std::rc::Rc::new(BluesteinPlan::new(n, dir)))
+            .clone()
+    });
+    let m = plan.m;
 
     // a[k] = x[k] * chirp[k], zero-padded to m.
     let mut a = vec![Complex64::ZERO; m];
     for k in 0..n {
-        a[k] = x[k] * chirp[k];
+        a[k] = x[k] * plan.chirp[k];
     }
 
-    // b[k] = conj(chirp[k]) arranged circularly (b[-k] = b[m-k]).
-    let mut b = vec![Complex64::ZERO; m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let c = chirp[k].conj();
-        b[k] = c;
-        b[m - k] = c;
-    }
-
-    radix2(&mut a, Direction::Forward);
-    radix2(&mut b, Direction::Forward);
-    for k in 0..m {
-        a[k] *= b[k];
-    }
-    radix2(&mut a, Direction::Inverse);
+    with_plan(m, |fft_plan| {
+        fft_plan.forward(&mut a);
+        for (av, bv) in a.iter_mut().zip(&plan.b_fft) {
+            *av *= *bv;
+        }
+        fft_plan.inverse_unscaled(&mut a);
+    });
     let inv_m = 1.0 / m as f64;
 
     for k in 0..n {
-        x[k] = a[k].scale(inv_m) * chirp[k];
+        x[k] = a[k].scale(inv_m) * plan.chirp[k];
     }
 }
 
@@ -225,6 +306,9 @@ pub struct FftPlan {
     /// Forward twiddles, laid out stage by stage: for stage length `len`,
     /// the `len/2` roots `e^(-2πik/len)`.
     twiddles: Vec<Complex64>,
+    /// Inverse twiddles: the same table conjugated at build time, so the
+    /// inverse butterfly loop carries no per-element `conj` branch.
+    inv_twiddles: Vec<Complex64>,
     /// Per-stage offsets into `twiddles`.
     stage_offsets: Vec<(usize, usize)>, // (len, offset)
     /// Bit-reversal swap pairs `(i, j)` with `i < j`.
@@ -262,9 +346,11 @@ impl FftPlan {
                 (i < j).then_some((i as u32, j as u32))
             })
             .collect();
+        let inv_twiddles = twiddles.iter().map(|w| w.conj()).collect();
         Self {
             n,
             twiddles,
+            inv_twiddles,
             stage_offsets,
             swaps,
         }
@@ -280,7 +366,7 @@ impl FftPlan {
         false
     }
 
-    fn run(&self, x: &mut [Complex64], conjugate: bool) {
+    fn run(&self, x: &mut [Complex64], twiddles: &[Complex64]) {
         assert_eq!(
             x.len(),
             self.n,
@@ -295,10 +381,7 @@ impl FftPlan {
             let half = len / 2;
             for start in (0..self.n).step_by(len) {
                 for k in 0..half {
-                    let mut w = self.twiddles[offset + k];
-                    if conjugate {
-                        w = w.conj();
-                    }
+                    let w = twiddles[offset + k];
                     let u = x[start + k];
                     let v = x[start + k + half] * w;
                     x[start + k] = u + v;
@@ -314,7 +397,7 @@ impl FftPlan {
     ///
     /// Panics if `x.len()` differs from the planned length.
     pub fn forward(&self, x: &mut [Complex64]) {
-        self.run(x, false);
+        self.run(x, &self.twiddles);
     }
 
     /// Inverse DFT in place, including the `1/N` scaling.
@@ -323,11 +406,22 @@ impl FftPlan {
     ///
     /// Panics if `x.len()` differs from the planned length.
     pub fn inverse(&self, x: &mut [Complex64]) {
-        self.run(x, true);
+        self.inverse_unscaled(x);
         let inv = 1.0 / self.n as f64;
         for v in x.iter_mut() {
             *v = v.scale(inv);
         }
+    }
+
+    /// Inverse DFT in place **without** the `1/N` scaling — for
+    /// convolution pipelines (e.g. Bluestein's chirp convolution) that
+    /// fold the normalization into a later per-element pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the planned length.
+    pub fn inverse_unscaled(&self, x: &mut [Complex64]) {
+        self.run(x, &self.inv_twiddles);
     }
 }
 
@@ -527,6 +621,63 @@ mod tests {
         let plan = FftPlan::new(8);
         let mut x = ramp(16);
         plan.forward(&mut x);
+    }
+
+    #[test]
+    fn rfft_matches_complex_fft_on_real_input() {
+        for n in [2usize, 4, 8, 16, 64, 256, 1024] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.1).collect();
+            let fast = rfft(&x);
+            let slow = fft_real(&x);
+            assert_close(&fast, &slow, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn rfft_falls_back_on_non_power_of_two() {
+        for n in [3usize, 7, 12, 100] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.77).cos()).collect();
+            assert_close(&rfft(&x), &fft_real(&x), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn ifft_real_matches_complex_ifft() {
+        for n in [1usize, 2, 8, 11, 64, 512] {
+            let x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.21).sin()).collect();
+            let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+            assert_close(&ifft_real(&x), &ifft_of(&xc), 1e-9 * n.max(1) as f64);
+        }
+        assert!(ifft_real(&[]).is_empty());
+    }
+
+    #[test]
+    fn bluestein_cache_is_consistent_across_calls() {
+        // First call builds the (length, direction) plan; later calls hit
+        // the cache. The results must be identical, not merely close.
+        let x = ramp(100);
+        let first = fft_of(&x);
+        let second = fft_of(&x);
+        assert_eq!(first, second);
+        let y = ifft_of(&first);
+        let y2 = ifft_of(&second);
+        assert_eq!(y, y2);
+        assert_close(&y, &x, 1e-8);
+    }
+
+    #[test]
+    fn inverse_unscaled_differs_by_exactly_n() {
+        let plan = FftPlan::new(64);
+        let x = ramp(64);
+        let mut spectrum = x.clone();
+        plan.forward(&mut spectrum);
+        let mut scaled = spectrum.clone();
+        let mut unscaled = spectrum;
+        plan.inverse(&mut scaled);
+        plan.inverse_unscaled(&mut unscaled);
+        for (s, u) in scaled.iter().zip(&unscaled) {
+            assert!((u.scale(1.0 / 64.0) - *s).norm() < 1e-12);
+        }
     }
 
     #[test]

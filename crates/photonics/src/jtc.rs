@@ -35,9 +35,8 @@
 //! }
 //! ```
 
-use crate::complex::Complex64;
 use crate::components::{Adc, Dac, NonlinearMaterial};
-use crate::fft::{fft, ifft};
+use crate::fft::{ifft, ifft_real, rfft};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -209,21 +208,25 @@ impl Jtc {
             }
         };
 
-        let mut plane = vec![Complex64::ZERO; n];
+        let mut input_plane = vec![0.0_f64; n];
         for (i, &v) in kernel.iter().enumerate() {
-            plane[i] = Complex64::from_real(encode(v));
+            input_plane[i] = encode(v);
         }
         for (i, &v) in signal.iter().enumerate() {
-            plane[sep + i] = Complex64::from_real(encode(v));
+            input_plane[sep + i] = encode(v);
         }
 
-        // Stage 2: first lens.
-        fft(&mut plane);
-        // Stage 3: Fourier-plane square-law nonlinearity.
-        self.nonlinearity.apply(&mut plane);
+        // Stage 2: first lens. The input plane carries optical power — a
+        // real field — so the half-length real-input transform applies.
+        let mut spectrum = rfft(&input_plane);
+        // Stage 3: Fourier-plane square-law nonlinearity. Its output is an
+        // intensity, i.e. real (`NonlinearMaterial::apply_point` discards
+        // phase), which makes the second lens real-input too.
+        self.nonlinearity.apply(&mut spectrum);
+        let intensity: Vec<f64> = spectrum.iter().map(|v| v.re).collect();
         // Stage 4: second lens. The inverse orientation recovers the
         // autocorrelation theorem directly: IFFT(|FFT(f)|^2) = autocorr(f).
-        ifft(&mut plane);
+        let plane = ifft_real(&intensity);
 
         // Stage 5: photodetector readout of the cross term at +sep.
         // For non-negative inputs the term is real and non-negative;
@@ -315,16 +318,17 @@ impl Jtc {
         let lk = kernel.len();
         let sep = ls.max(lk) + lk;
         let n = (2 * (sep + ls.max(lk))).next_power_of_two();
-        let mut plane = vec![Complex64::ZERO; n];
+        let mut input_plane = vec![0.0_f64; n];
         for (i, &v) in kernel.iter().enumerate() {
-            plane[i] = Complex64::from_real(v);
+            input_plane[i] = v;
         }
         for (i, &v) in signal.iter().enumerate() {
-            plane[sep + i] = Complex64::from_real(v);
+            input_plane[sep + i] = v;
         }
-        fft(&mut plane);
-        self.nonlinearity.apply(&mut plane);
-        ifft(&mut plane);
+        let mut spectrum = rfft(&input_plane);
+        self.nonlinearity.apply(&mut spectrum);
+        let intensity: Vec<f64> = spectrum.iter().map(|v| v.re).collect();
+        let plane = ifft_real(&intensity);
         Ok((plane.into_iter().map(|v| v.re.max(0.0)).collect(), sep))
     }
 
@@ -350,14 +354,14 @@ impl Jtc {
         let lk = kernel.len();
         let sep = ls + lk;
         let n = (2 * (sep + ls)).next_power_of_two();
-        let mut plane = vec![Complex64::ZERO; n];
+        let mut input_plane = vec![0.0_f64; n];
         for (i, &v) in kernel.iter().enumerate() {
-            plane[i] = Complex64::from_real(v);
+            input_plane[i] = v;
         }
         for (i, &v) in signal.iter().enumerate() {
-            plane[sep + i] = Complex64::from_real(v);
+            input_plane[sep + i] = v;
         }
-        fft(&mut plane);
+        let mut plane = rfft(&input_plane);
         ifft(&mut plane);
         Ok(plane[sep..sep + ls].iter().map(|v| v.norm()).collect())
     }
