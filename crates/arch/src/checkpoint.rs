@@ -1,0 +1,368 @@
+//! Crash-safe JSON-lines journals for resumable grid runs.
+//!
+//! A [`Checkpoint<T>`] persists completed work-item results keyed by a
+//! caller-chosen string (the campaign uses `"<severity-bits>:<seed>"`,
+//! the DSE sweep uses the delay-line length). The file format is
+//! JSON-lines: a header line carrying a *fingerprint* of the run
+//! configuration, then one `{"key": ..., "value": ...}` record per
+//! completed cell. On resume the runner skips journaled keys and reuses
+//! their stored values verbatim.
+//!
+//! Two properties make resumed reports bit-identical to uninterrupted
+//! runs (the PR-3 acceptance criterion):
+//!
+//! 1. **Atomic persistence.** Every append serializes the whole journal
+//!    to a sibling temp file and `fs::rename`s it over the target, so a
+//!    kill at any instant leaves either the old or the new journal on
+//!    disk — never a torn line.
+//! 2. **Exact round-trips.** `serde_json` prints `f64` with enough
+//!    digits (Grisu/Ryū shortest representation) that every finite value
+//!    parses back to the identical bit pattern, and the
+//!    [`guard`](crate::guard) firewall keeps non-finite values out of
+//!    journaled results.
+//!
+//! The fingerprint guards against resuming with the wrong configuration:
+//! [`Checkpoint::load`] fails if the file's header does not match the
+//! fingerprint the runner derives from its spec, rather than silently
+//! splicing cells from two different experiments.
+
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A checkpoint journal failed to be created, read, or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// The journal path involved.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CheckpointError> for crate::error::SimError {
+    fn from(e: CheckpointError) -> Self {
+        crate::error::SimError::Checkpoint {
+            message: e.to_string(),
+        }
+    }
+}
+
+// The vendored serde derive does not handle generic types, so the
+// header and record wrappers implement the value-tree traits by hand.
+struct Header {
+    fingerprint: String,
+}
+
+impl Serialize for Header {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![(
+            "fingerprint".to_string(),
+            Value::Str(self.fingerprint.clone()),
+        )])
+    }
+}
+
+impl Deserialize for Header {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fingerprint = value
+            .get("fingerprint")
+            .ok_or_else(|| serde::Error::custom("missing 'fingerprint' field"))?;
+        Ok(Header {
+            fingerprint: String::from_value(fingerprint)?,
+        })
+    }
+}
+
+/// Borrowing record wrapper used when serializing, so appends don't
+/// clone the journaled value.
+struct RecordRef<'a, T> {
+    key: &'a str,
+    value: &'a T,
+}
+
+impl<T: Serialize> Serialize for RecordRef<'_, T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("key".to_string(), Value::Str(self.key.to_string())),
+            ("value".to_string(), self.value.to_value()),
+        ])
+    }
+}
+
+struct Record<T> {
+    key: String,
+    value: T,
+}
+
+impl<T: Deserialize> Deserialize for Record<T> {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let key = value
+            .get("key")
+            .ok_or_else(|| serde::Error::custom("missing 'key' field"))?;
+        let payload = value
+            .get("value")
+            .ok_or_else(|| serde::Error::custom("missing 'value' field"))?;
+        Ok(Record {
+            key: String::from_value(key)?,
+            value: T::from_value(payload)?,
+        })
+    }
+}
+
+/// A resumable journal of completed work items.
+///
+/// `T` is the per-cell result type; it must round-trip through JSON
+/// (which, for structs of finite `f64`s and integers, is bit-exact).
+#[derive(Debug)]
+pub struct Checkpoint<T> {
+    path: PathBuf,
+    fingerprint: String,
+    entries: Vec<(String, T)>,
+    index: HashMap<String, usize>,
+}
+
+impl<T: Serialize + Deserialize> Checkpoint<T> {
+    /// Starts a fresh journal at `path`, writing the header line.
+    ///
+    /// Truncates any existing file: creating is an explicit "start over".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] if the file cannot be written.
+    pub fn create(path: &Path, fingerprint: &str) -> Result<Self, CheckpointError> {
+        let ckpt = Checkpoint {
+            path: path.to_path_buf(),
+            fingerprint: fingerprint.to_string(),
+            entries: Vec::new(),
+            index: HashMap::new(),
+        };
+        ckpt.persist()?;
+        Ok(ckpt)
+    }
+
+    /// Loads an existing journal, verifying its fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] if the file is missing or malformed,
+    /// or if its header fingerprint differs from `fingerprint` (the
+    /// journal belongs to a different run configuration).
+    pub fn load(path: &Path, fingerprint: &str) -> Result<Self, CheckpointError> {
+        let err = |message: String| CheckpointError {
+            path: path.to_path_buf(),
+            message,
+        };
+        let text =
+            fs::read_to_string(path).map_err(|e| err(format!("cannot read checkpoint: {e}")))?;
+        let mut lines = text.lines();
+        let header_line = lines.next().ok_or_else(|| err("empty journal".into()))?;
+        let header: Header = serde_json::from_str(header_line)
+            .map_err(|e| err(format!("malformed header line: {e}")))?;
+        if header.fingerprint != fingerprint {
+            return Err(err(format!(
+                "fingerprint mismatch: journal was written by a different run \
+                 configuration (found '{}', expected '{}')",
+                header.fingerprint, fingerprint
+            )));
+        }
+        let mut entries = Vec::new();
+        let mut index = HashMap::new();
+        for (n, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: Record<T> = serde_json::from_str(line)
+                .map_err(|e| err(format!("malformed record on line {}: {e}", n + 2)))?;
+            if index.insert(record.key.clone(), entries.len()).is_some() {
+                return Err(err(format!(
+                    "duplicate key '{}' on line {}",
+                    record.key,
+                    n + 2
+                )));
+            }
+            entries.push((record.key, record.value));
+        }
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            fingerprint: header.fingerprint,
+            entries,
+            index,
+        })
+    }
+
+    /// Loads `path` if it exists (verifying the fingerprint), otherwise
+    /// starts a fresh journal there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on I/O failure, a malformed journal,
+    /// or a fingerprint mismatch.
+    pub fn load_or_create(path: &Path, fingerprint: &str) -> Result<Self, CheckpointError> {
+        if path.exists() {
+            Self::load(path, fingerprint)
+        } else {
+            Self::create(path, fingerprint)
+        }
+    }
+
+    /// Whether `key` has already been journaled.
+    pub fn contains(&self, key: &str) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// The journaled value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&T> {
+        self.index.get(key).map(|&i| &self.entries[i].1)
+    }
+
+    /// Number of journaled records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal has no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends one completed cell and persists the journal atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] if `key` is already journaled (the
+    /// runner's skip logic failed) or the write fails.
+    pub fn append(&mut self, key: &str, value: T) -> Result<(), CheckpointError> {
+        if self.contains(key) {
+            return Err(CheckpointError {
+                path: self.path.clone(),
+                message: format!("key '{key}' already journaled"),
+            });
+        }
+        self.index.insert(key.to_string(), self.entries.len());
+        self.entries.push((key.to_string(), value));
+        self.persist()
+    }
+
+    /// Serializes the whole journal and atomically replaces the file:
+    /// write to a sibling temp file, flush, then `fs::rename` over the
+    /// target. Rename within one directory is atomic on POSIX, so a
+    /// crash leaves either the previous or the new journal — never a
+    /// half-written one.
+    fn persist(&self) -> Result<(), CheckpointError> {
+        let err = |message: String| CheckpointError {
+            path: self.path.clone(),
+            message,
+        };
+        let mut text = serde_json::to_string(&Header {
+            fingerprint: self.fingerprint.clone(),
+        })
+        .map_err(|e| err(format!("cannot serialize header: {e}")))?;
+        text.push('\n');
+        for (key, value) in &self.entries {
+            let line = serde_json::to_string(&RecordRef { key, value })
+                .map_err(|e| err(format!("cannot serialize record '{key}': {e}")))?;
+            text.push_str(&line);
+            text.push('\n');
+        }
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut file =
+            fs::File::create(&tmp).map_err(|e| err(format!("cannot create temp file: {e}")))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| err(format!("cannot write temp file: {e}")))?;
+        file.sync_all()
+            .map_err(|e| err(format!("cannot sync temp file: {e}")))?;
+        drop(file);
+        fs::rename(&tmp, &self.path).map_err(|e| err(format!("cannot rename temp file: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("refocus-checkpoint-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_append_reload_round_trips() {
+        let path = scratch("round-trip");
+        let _ = fs::remove_file(&path);
+        let mut ckpt: Checkpoint<Vec<f64>> =
+            Checkpoint::create(&path, "spec-v1").expect("create succeeds in temp dir");
+        ckpt.append("a", vec![1.0, 0.1 + 0.2]).expect("append a");
+        ckpt.append("b", vec![-3.5e-9]).expect("append b");
+
+        let back: Checkpoint<Vec<f64>> =
+            Checkpoint::load(&path, "spec-v1").expect("reload succeeds");
+        assert_eq!(back.len(), 2);
+        assert!(back.contains("a") && back.contains("b"));
+        // Bit-exact f64 round-trip, including the 0.30000000000000004
+        // artifact that a lossy printer would flatten.
+        assert_eq!(
+            back.get("a").expect("key a present")[1].to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let path = scratch("fingerprint");
+        let _ = fs::remove_file(&path);
+        let _: Checkpoint<u32> = Checkpoint::create(&path, "spec-v1").expect("create");
+        let err = Checkpoint::<u32>::load(&path, "spec-v2").expect_err("must reject");
+        assert!(err.message.contains("fingerprint mismatch"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_append_is_rejected() {
+        let path = scratch("duplicate");
+        let _ = fs::remove_file(&path);
+        let mut ckpt: Checkpoint<u32> = Checkpoint::create(&path, "f").expect("create");
+        ckpt.append("k", 1).expect("first append");
+        let err = ckpt.append("k", 2).expect_err("duplicate must fail");
+        assert!(err.message.contains("already journaled"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_or_create_picks_the_right_branch() {
+        let path = scratch("load-or-create");
+        let _ = fs::remove_file(&path);
+        let mut first: Checkpoint<u8> =
+            Checkpoint::load_or_create(&path, "f").expect("creates when missing");
+        first.append("x", 7).expect("append");
+        let second: Checkpoint<u8> =
+            Checkpoint::load_or_create(&path, "f").expect("loads when present");
+        assert_eq!(second.get("x"), Some(&7));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_journal_is_a_typed_error() {
+        let path = scratch("malformed");
+        fs::write(&path, "not json\n").expect("write scratch file");
+        let err = Checkpoint::<u32>::load(&path, "f").expect_err("must reject");
+        assert!(err.message.contains("malformed header"), "{err}");
+        let sim: crate::error::SimError = err.into();
+        assert!(matches!(sim, crate::error::SimError::Checkpoint { .. }));
+        let _ = fs::remove_file(&path);
+    }
+}

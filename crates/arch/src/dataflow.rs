@@ -121,7 +121,7 @@ mod tests {
         let mut without = AcceleratorConfig::refocus_fb();
         without.sram_buffers = false;
         let l = layer();
-        let p = LayerPerf::analyze(&l, &with).unwrap();
+        let p = LayerPerf::analyze(&l, &with).expect("layer maps onto the JTC");
         let tw = layer_traffic(&l, &p, &with);
         let to = layer_traffic(&l, &p, &without);
         // With buffers, the activation SRAM sees only fills + finals.
@@ -139,8 +139,8 @@ mod tests {
             delay_cycles: 16,
             ..fb.clone()
         };
-        let pf = LayerPerf::analyze(&l, &fb).unwrap();
-        let pb = LayerPerf::analyze(&l, &base).unwrap();
+        let pf = LayerPerf::analyze(&l, &fb).expect("layer maps onto the JTC");
+        let pb = LayerPerf::analyze(&l, &base).expect("layer maps onto the JTC");
         let tf = layer_traffic(&l, &pf, &fb);
         let tb = layer_traffic(&l, &pb, &base);
         assert!(tf.input_buffer < tb.input_buffer);
@@ -155,7 +155,7 @@ mod tests {
         shared.include_dram = true;
         let mut plain_dram = plain.clone();
         plain_dram.include_dram = true;
-        let p = LayerPerf::analyze(&l, &plain).unwrap();
+        let p = LayerPerf::analyze(&l, &plain).expect("layer maps onto the JTC");
         let tp = layer_traffic(&l, &p, &plain_dram);
         let ts = layer_traffic(&l, &p, &shared);
         let ratio = tp.weight_sram as f64 / ts.weight_sram as f64;
@@ -168,7 +168,7 @@ mod tests {
     fn dram_only_when_enabled() {
         let l = layer();
         let cfg = AcceleratorConfig::refocus_fb();
-        let p = LayerPerf::analyze(&l, &cfg).unwrap();
+        let p = LayerPerf::analyze(&l, &cfg).expect("layer maps onto the JTC");
         assert_eq!(layer_traffic(&l, &p, &cfg).dram, 0);
         let mut on = cfg.clone();
         on.include_dram = true;
@@ -179,7 +179,7 @@ mod tests {
     fn network_traffic_sums_layers() {
         let cfg = AcceleratorConfig::refocus_fb();
         let net = models::resnet18();
-        let perf = NetworkPerf::analyze(&net, &cfg).unwrap();
+        let perf = NetworkPerf::analyze(&net, &cfg).expect("network maps onto the JTC");
         let total = network_traffic(&net, &perf, &cfg);
         let manual: u64 = net
             .layers()
@@ -200,8 +200,8 @@ mod tests {
             delay_cycles: 16,
             ..fb.clone()
         };
-        let pf = LayerPerf::analyze(&l, &fb).unwrap();
-        let pn = LayerPerf::analyze(&l, &none).unwrap();
+        let pf = LayerPerf::analyze(&l, &fb).expect("layer maps onto the JTC");
+        let pn = LayerPerf::analyze(&l, &none).expect("layer maps onto the JTC");
         assert!(layer_traffic(&l, &pf, &fb).output_buffer > 0);
         assert_eq!(layer_traffic(&l, &pn, &none).output_buffer, 0);
     }

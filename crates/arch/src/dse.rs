@@ -9,12 +9,15 @@
 //! RFCUs — which is why ReFOCUS ships with 16 (the nearest power of two).
 
 use crate::area::area_breakdown;
+use crate::checkpoint::Checkpoint;
 use crate::config::{AcceleratorConfig, OpticalBufferKind};
-use crate::error::SimError;
+use crate::error::{FailureKind, SimError};
 use crate::metrics::geomean_ratio;
 use crate::simulator::simulate_suite;
 use refocus_nn::layer::Network;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Mutex;
 
 /// The paper's photonic area budget (§5.4.1).
 pub const PHOTONIC_AREA_BUDGET_MM2: f64 = 150.0;
@@ -48,6 +51,40 @@ pub enum Variant {
     FeedForward,
     /// Feedback buffer (R = 15 optimal-split reuse).
     FeedBack,
+}
+
+/// A design point that could not be measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedDesignPoint {
+    /// Delay-line length of the failed point.
+    pub delay_cycles: u32,
+    /// Classification of the error.
+    pub kind: FailureKind,
+    /// Rendered message of the error.
+    pub error: String,
+}
+
+/// Results of one Table 4 sweep: comparable rows plus any design points
+/// that failed.
+///
+/// Rows are only emitted when the `M = 1` baseline completed — every
+/// relative metric is defined against it. If the baseline itself failed,
+/// `rows` is empty and `failed` explains why (successful non-baseline
+/// points stay in the checkpoint journal, so fixing the baseline and
+/// resuming does not recompute them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// One row per completed design point, sweep order.
+    pub rows: Vec<DseRow>,
+    /// Design points that panicked or returned an error, sweep order.
+    pub failed: Vec<FailedDesignPoint>,
+}
+
+impl SweepReport {
+    /// Whether every design point completed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
 }
 
 /// Builds the design point for a variant at delay length `M` with `n`
@@ -97,13 +134,17 @@ pub fn max_rfcus(variant: Variant, delay_cycles: u32, budget_mm2: f64) -> usize 
     n
 }
 
+/// Per-delay-length sample: (M, N_RFCU, per-network FPS/W, FPS/mm²).
+/// A plain tuple so it round-trips through the checkpoint journal.
+type PerM = (u32, usize, Vec<f64>, Vec<f64>);
+
 /// Runs the full Table 4 sweep for one variant over `suite`.
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if a workload cannot map or a design point is
-/// invalid.
-pub fn sweep(variant: Variant, suite: &[Network]) -> Result<Vec<DseRow>, SimError> {
+/// Returns [`SimError::EmptySuite`] for an empty suite; per-design-point
+/// failures land in [`SweepReport::failed`].
+pub fn sweep(variant: Variant, suite: &[Network]) -> Result<SweepReport, SimError> {
     sweep_with_budget(variant, suite, PHOTONIC_AREA_BUDGET_MM2)
 }
 
@@ -111,40 +152,137 @@ pub fn sweep(variant: Variant, suite: &[Network]) -> Result<Vec<DseRow>, SimErro
 ///
 /// # Errors
 ///
-/// Returns [`SimError`] if a workload cannot map or a design point is
-/// invalid.
+/// Returns [`SimError::EmptySuite`] for an empty suite; per-design-point
+/// failures land in [`SweepReport::failed`].
 pub fn sweep_with_budget(
     variant: Variant,
     suite: &[Network],
     budget_mm2: f64,
-) -> Result<Vec<DseRow>, SimError> {
-    // Per-delay-length sample: (M, N_RFCU, per-network FPS/W, FPS/mm²).
-    type PerM = (u32, usize, Vec<f64>, Vec<f64>);
+) -> Result<SweepReport, SimError> {
+    sweep_impl(variant, suite, budget_mm2, None)
+}
 
+/// [`sweep_with_budget`] journaling completed design points to `path`,
+/// resuming from the journal if it already exists.
+///
+/// # Errors
+///
+/// Same conditions as [`sweep_with_budget`], plus
+/// [`SimError::Checkpoint`] for journal I/O failures or a fingerprint
+/// mismatch.
+pub fn sweep_checkpointed(
+    variant: Variant,
+    suite: &[Network],
+    budget_mm2: f64,
+    path: &Path,
+) -> Result<SweepReport, SimError> {
+    let mut journal =
+        Checkpoint::load_or_create(path, &sweep_fingerprint(variant, suite, budget_mm2))?;
+    sweep_impl(variant, suite, budget_mm2, Some(&mut journal))
+}
+
+/// Resumes a previously checkpointed sweep from `path`, which must
+/// exist. Journaled design points are replayed verbatim; the rest run,
+/// and — each point being a pure function of (variant, suite, budget) —
+/// the report is bit-identical to an uninterrupted sweep.
+///
+/// # Errors
+///
+/// Same conditions as [`sweep_checkpointed`], but a missing journal is
+/// an error rather than a fresh start.
+pub fn sweep_resume(
+    variant: Variant,
+    suite: &[Network],
+    budget_mm2: f64,
+    path: &Path,
+) -> Result<SweepReport, SimError> {
+    let mut journal = Checkpoint::load(path, &sweep_fingerprint(variant, suite, budget_mm2))?;
+    sweep_impl(variant, suite, budget_mm2, Some(&mut journal))
+}
+
+/// Fingerprint of everything that determines design-point values.
+/// Suites are identified by network name — the model zoo is static, so
+/// names pin the layer stacks.
+fn sweep_fingerprint(variant: Variant, suite: &[Network], budget_mm2: f64) -> String {
+    let names: Vec<&str> = suite.iter().map(Network::name).collect();
+    format!(
+        "dse-v1|{variant:?}|{:016x}|{}",
+        budget_mm2.to_bits(),
+        names.join(",")
+    )
+}
+
+fn sweep_impl(
+    variant: Variant,
+    suite: &[Network],
+    budget_mm2: f64,
+    journal: Option<&mut Checkpoint<PerM>>,
+) -> Result<SweepReport, SimError> {
+    if suite.is_empty() {
+        return Err(SimError::EmptySuite);
+    }
+    enum Outcome {
+        Done(PerM),
+        Failed(FailedDesignPoint),
+    }
+    let journal = journal.map(Mutex::new);
     // Design points are independent, so the whole sweep fans out onto
-    // the pool; results come back in sweep order.
-    let mut rows = Vec::with_capacity(TABLE4_DELAY_CYCLES.len());
-    let per_m_results: Vec<Result<PerM, SimError>> =
-        refocus_par::par_map(&TABLE4_DELAY_CYCLES, |&m| {
-            let n = max_rfcus(variant, m, budget_mm2);
-            let cfg = design_point(variant, m, n);
-            let report = simulate_suite(suite, &cfg)?;
-            let fps_w: Vec<f64> = report
-                .reports
-                .iter()
-                .map(|r| r.metrics.fps_per_watt())
-                .collect();
-            let fps_mm2: Vec<f64> = report
-                .reports
-                .iter()
-                .map(|r| r.metrics.fps_per_mm2())
-                .collect();
-            Ok((m, n, fps_w, fps_mm2))
+    // the pool with per-point panic isolation; results come back in
+    // sweep order.
+    let outcomes: Vec<Outcome> = refocus_par::par_map(&TABLE4_DELAY_CYCLES, |&m| {
+        let key = m.to_string();
+        if let Some(journal) = &journal {
+            let guard = journal.lock().expect("journal lock never poisoned");
+            if let Some(per_m) = guard.get(&key) {
+                return Outcome::Done(per_m.clone());
+            }
+        }
+        let result = refocus_par::catch_item(|| run_design_point(variant, suite, budget_mm2, m));
+        match result {
+            Ok(Ok(per_m)) => {
+                if let Some(journal) = &journal {
+                    let mut guard = journal.lock().expect("journal lock never poisoned");
+                    if let Err(e) = guard.append(&key, per_m.clone()) {
+                        return Outcome::Failed(FailedDesignPoint {
+                            delay_cycles: m,
+                            kind: FailureKind::Checkpoint,
+                            error: e.to_string(),
+                        });
+                    }
+                }
+                Outcome::Done(per_m)
+            }
+            Ok(Err(failure)) => Outcome::Failed(failure),
+            Err(message) => Outcome::Failed(FailedDesignPoint {
+                delay_cycles: m,
+                kind: FailureKind::WorkerPanic,
+                error: message,
+            }),
+        }
+    });
+
+    let mut per_m = Vec::new();
+    let mut failed = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Outcome::Done(sample) => per_m.push(sample),
+            Outcome::Failed(failure) => failed.push(failure),
+        }
+    }
+
+    // Every relative metric is defined against the M = 1 baseline; if it
+    // failed, no comparable row can be formed.
+    let Some((_, _, base_w, base_mm2)) = per_m
+        .iter()
+        .find(|(m, ..)| *m == TABLE4_DELAY_CYCLES[0])
+        .cloned()
+    else {
+        return Ok(SweepReport {
+            rows: Vec::new(),
+            failed,
         });
-    let per_m = per_m_results
-        .into_iter()
-        .collect::<Result<Vec<PerM>, SimError>>()?;
-    let (_, _, base_w, base_mm2) = per_m[0].clone();
+    };
+    let mut rows = Vec::with_capacity(per_m.len());
     for (m, n, fps_w, fps_mm2) in per_m {
         let rel_w = geomean_ratio(&fps_w, &base_w);
         let rel_mm2 = geomean_ratio(&fps_mm2, &base_mm2);
@@ -158,7 +296,43 @@ pub fn sweep_with_budget(
             fps_per_mm2: crate::metrics::geomean(&fps_mm2),
         });
     }
-    Ok(rows)
+    Ok(SweepReport { rows, failed })
+}
+
+/// Measures one design point; a partial suite (any network failed) fails
+/// the whole point, since geomeans over different network subsets are
+/// not comparable across `M`.
+fn run_design_point(
+    variant: Variant,
+    suite: &[Network],
+    budget_mm2: f64,
+    m: u32,
+) -> Result<PerM, FailedDesignPoint> {
+    let n = max_rfcus(variant, m, budget_mm2);
+    let cfg = design_point(variant, m, n);
+    let report = simulate_suite(suite, &cfg).map_err(|e| FailedDesignPoint {
+        delay_cycles: m,
+        kind: e.kind(),
+        error: e.to_string(),
+    })?;
+    if let Some(failure) = report.failed.first() {
+        return Err(FailedDesignPoint {
+            delay_cycles: m,
+            kind: failure.kind,
+            error: format!("network '{}' failed: {}", failure.network, failure.error),
+        });
+    }
+    let fps_w: Vec<f64> = report
+        .reports
+        .iter()
+        .map(|r| r.metrics.fps_per_watt())
+        .collect();
+    let fps_mm2: Vec<f64> = report
+        .reports
+        .iter()
+        .map(|r| r.metrics.fps_per_mm2())
+        .collect();
+    Ok((m, n, fps_w, fps_mm2))
 }
 
 /// The PAP-optimal row of a sweep.
@@ -206,7 +380,9 @@ mod tests {
     #[test]
     fn sweep_shape_matches_paper() {
         let suite = [models::resnet34()];
-        let rows = sweep(Variant::FeedForward, &suite).unwrap();
+        let report = sweep(Variant::FeedForward, &suite).expect("reduced sweep runs");
+        assert!(report.is_complete(), "failed: {:?}", report.failed);
+        let rows = report.rows;
         assert_eq!(rows.len(), 6);
         // M = 1 row is the reference.
         assert!((rows[0].relative_fps_per_watt - 1.0).abs() < 1e-9);
@@ -236,8 +412,8 @@ mod tests {
     #[test]
     fn fb_sweep_also_peaks_at_16() {
         let suite = [models::resnet34()];
-        let rows = sweep(Variant::FeedBack, &suite).unwrap();
-        assert_eq!(optimal_row(&rows).delay_cycles, 16);
+        let report = sweep(Variant::FeedBack, &suite).expect("reduced sweep runs");
+        assert_eq!(optimal_row(&report.rows).delay_cycles, 16);
     }
 
     #[test]
@@ -246,6 +422,85 @@ mod tests {
         assert_eq!(cfg.rfcus, 21);
         assert_eq!(cfg.delay_cycles, 8);
         assert_eq!(cfg.temporal_accumulation, 8);
-        cfg.validate().unwrap();
+        cfg.validate().expect("table 4 design point is valid");
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("refocus-dse-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn partial_journal_resume_is_bit_identical() {
+        let suite = [models::resnet34()];
+        let path = scratch("partial");
+        let _ = std::fs::remove_file(&path);
+        // Journal only the baseline, as if the sweep was killed after
+        // its first design point.
+        let fingerprint = sweep_fingerprint(Variant::FeedForward, &suite, PHOTONIC_AREA_BUDGET_MM2);
+        let mut journal: Checkpoint<PerM> =
+            Checkpoint::create(&path, &fingerprint).expect("journal creates in temp dir");
+        let baseline = run_design_point(Variant::FeedForward, &suite, PHOTONIC_AREA_BUDGET_MM2, 1)
+            .expect("baseline design point runs");
+        journal.append("1", baseline).expect("baseline journals");
+        drop(journal);
+
+        let resumed = sweep_resume(
+            Variant::FeedForward,
+            &suite,
+            PHOTONIC_AREA_BUDGET_MM2,
+            &path,
+        )
+        .expect("resume completes");
+        let uninterrupted = sweep(Variant::FeedForward, &suite).expect("reference sweep runs");
+        assert_eq!(resumed, uninterrupted);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_requires_an_existing_journal() {
+        let suite = [models::resnet34()];
+        let path = scratch("missing");
+        let _ = std::fs::remove_file(&path);
+        let err = sweep_resume(
+            Variant::FeedForward,
+            &suite,
+            PHOTONIC_AREA_BUDGET_MM2,
+            &path,
+        )
+        .expect_err("missing journal must be an error");
+        assert!(matches!(err, SimError::Checkpoint { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn checkpointed_sweep_is_idempotent() {
+        let suite = [models::resnet34()];
+        let path = scratch("idempotent");
+        let _ = std::fs::remove_file(&path);
+        let first = sweep_checkpointed(Variant::FeedBack, &suite, PHOTONIC_AREA_BUDGET_MM2, &path)
+            .expect("checkpointed sweep runs");
+        // Second invocation replays every point from the journal.
+        let second = sweep_checkpointed(Variant::FeedBack, &suite, PHOTONIC_AREA_BUDGET_MM2, &path)
+            .expect("replayed sweep runs");
+        assert_eq!(first, second);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn infeasible_suite_fails_points_not_the_sweep() {
+        // An empty network fails every design point's suite; the sweep
+        // must report six failed points, not abort.
+        let empty: refocus_nn::layer::Network =
+            serde_json::from_str(r#"{"name":"empty-net","layers":[]}"#)
+                .expect("hand-written network JSON parses");
+        let suite = [empty];
+        let report = sweep(Variant::FeedForward, &suite).expect("sweep survives");
+        assert!(report.rows.is_empty(), "no baseline, no comparable rows");
+        assert_eq!(report.failed.len(), TABLE4_DELAY_CYCLES.len());
+        for failure in &report.failed {
+            assert_eq!(failure.kind, FailureKind::Empty);
+            assert!(failure.error.contains("empty-net"), "{}", failure.error);
+        }
     }
 }

@@ -29,6 +29,14 @@ pub enum FunctionalError {
     Shape(ConvError),
     /// The layer cannot tile onto the configured JTC.
     Tiling(TilingError),
+    /// The numerical firewall caught a NaN, infinity, or out-of-bounds
+    /// magnitude leaving the optical path (see [`crate::guard`]).
+    NonFinite {
+        /// Which guarded boundary tripped (e.g. `"jtc-output"`).
+        stage: &'static str,
+        /// Flat index of the offending element within the channel.
+        index: usize,
+    },
 }
 
 impl fmt::Display for FunctionalError {
@@ -42,6 +50,11 @@ impl fmt::Display for FunctionalError {
             }
             FunctionalError::Shape(e) => write!(f, "shape error: {e}"),
             FunctionalError::Tiling(e) => write!(f, "tiling error: {e}"),
+            FunctionalError::NonFinite { stage, index } => write!(
+                f,
+                "non-finite or out-of-bounds value at index {index} of the \
+                 {stage} boundary"
+            ),
         }
     }
 }
@@ -51,7 +64,7 @@ impl std::error::Error for FunctionalError {
         match self {
             FunctionalError::Shape(e) => Some(e),
             FunctionalError::Tiling(e) => Some(e),
-            FunctionalError::NegativeActivation => None,
+            FunctionalError::NegativeActivation | FunctionalError::NonFinite { .. } => None,
         }
     }
 }
@@ -269,6 +282,15 @@ impl OpticalExecutor {
                             pos[oy * stride][ox * stride] - neg[oy * stride][ox * stride];
                     }
                 }
+                // JTC→executor firewall: a poisoned optical pass must
+                // surface as a typed error here, not as NaN folded into
+                // downstream accumulations and geomeans.
+                crate::guard::check_finite("jtc-output", &flat).map_err(|v| {
+                    FunctionalError::NonFinite {
+                        stage: v.stage,
+                        index: v.index,
+                    }
+                })?;
                 Ok((flat, local_passes))
             });
 
@@ -396,8 +418,10 @@ mod tests {
         let exec = OpticalExecutor::ideal();
         let input = Tensor3::random(3, 10, 10, 0.0, 1.0, 1);
         let weights = Tensor4::random(4, 3, 3, 3, -1.0, 1.0, 2);
-        let optical = exec.conv2d(&input, &weights, 1, 1).unwrap();
-        let digital = conv2d(&input, &weights, 1, 1).unwrap();
+        let optical = exec
+            .conv2d(&input, &weights, 1, 1)
+            .expect("optical conv runs");
+        let digital = conv2d(&input, &weights, 1, 1).expect("digital reference runs");
         assert_eq!(optical.shape(), digital.shape());
         assert!(
             max_diff(&optical, &digital) < 1e-7,
@@ -412,8 +436,10 @@ mod tests {
         let exec = OpticalExecutor::ideal();
         let input = Tensor3::random(2, 12, 12, 0.0, 1.0, 3);
         let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 4);
-        let optical = exec.conv2d(&input, &weights, 2, 1).unwrap();
-        let digital = conv2d(&input, &weights, 2, 1).unwrap();
+        let optical = exec
+            .conv2d(&input, &weights, 2, 1)
+            .expect("strided conv runs");
+        let digital = conv2d(&input, &weights, 2, 1).expect("digital reference runs");
         assert_eq!(optical.shape(), digital.shape());
         assert!(max_diff(&optical, &digital) < 1e-7);
     }
@@ -423,8 +449,10 @@ mod tests {
         let exec = OpticalExecutor::quantized();
         let input = Tensor3::random(2, 8, 8, 0.0, 1.0, 5);
         let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 6);
-        let optical = exec.conv2d(&input, &weights, 1, 1).unwrap();
-        let digital = conv2d(&input, &weights, 1, 1).unwrap();
+        let optical = exec
+            .conv2d(&input, &weights, 1, 1)
+            .expect("optical conv runs");
+        let digital = conv2d(&input, &weights, 1, 1).expect("digital reference runs");
         let peak = digital.data().iter().fold(0.0f64, |m, v| m.max(v.abs()));
         // 8-bit converters on every pass: a few percent of peak.
         assert!(max_diff(&optical, &digital) < 0.12 * peak);
@@ -441,11 +469,11 @@ mod tests {
             4,
             refocus_photonics::units::GigaHertz::new(10.0),
         )
-        .unwrap();
+        .expect("R=3 split fits the buffer");
         let reused = exec
             .conv2d_with_feedback_reuse(&input, &weights, 1, 1, &buffer)
-            .unwrap();
-        let digital = conv2d(&input, &weights, 1, 1).unwrap();
+            .expect("feedback-reuse conv runs");
+        let digital = conv2d(&input, &weights, 1, 1).expect("digital reference runs");
         assert!(
             max_diff(&reused, &digital) < 1e-7,
             "diff = {}",
@@ -488,8 +516,8 @@ mod tests {
         let input = Tensor3::random(1, 8, 8, 0.0, 1.0, 13);
         let w1 = Tensor4::random(1, 1, 3, 3, -1.0, 1.0, 14);
         let w4 = Tensor4::random(4, 1, 3, 3, -1.0, 1.0, 15);
-        small.conv2d(&input, &w1, 1, 0).unwrap();
-        big.conv2d(&input, &w4, 1, 0).unwrap();
+        small.conv2d(&input, &w1, 1, 0).expect("1-filter conv runs");
+        big.conv2d(&input, &w4, 1, 0).expect("4-filter conv runs");
         assert_eq!(big.passes(), 4 * small.passes());
     }
 
@@ -500,6 +528,35 @@ mod tests {
     }
 
     #[test]
+    fn diverging_noise_trips_the_jtc_output_guard() {
+        use refocus_photonics::faults::{FaultInjector, FaultSpec};
+        use refocus_photonics::noise::NoiseModel;
+        // A pathological noise model overflows detected outputs to ±∞;
+        // the firewall must surface that as a typed error instead of
+        // letting infinities (or the NaNs born of ∞ − ∞ recombination)
+        // reach the caller as output data.
+        let noise = NoiseModel::new(9).with_relative_sigma(f64::MAX);
+        let exec = OpticalExecutor::ideal()
+            .with_faults(FaultInjector::new(FaultSpec::none(), 1).with_noise(noise));
+        let input = Tensor3::random(1, 6, 6, 0.0, 1.0, 22);
+        let weights = Tensor4::random(1, 1, 3, 3, -1.0, 1.0, 23);
+        let err = exec
+            .conv2d(&input, &weights, 1, 0)
+            .expect_err("divergent optics must be caught");
+        assert!(
+            matches!(
+                err,
+                FunctionalError::NonFinite {
+                    stage: "jtc-output",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("jtc-output"));
+    }
+
+    #[test]
     fn transparent_faults_leave_conv_bit_identical() {
         use refocus_photonics::faults::{FaultInjector, FaultSpec};
         let clean = OpticalExecutor::ideal();
@@ -507,8 +564,12 @@ mod tests {
             OpticalExecutor::ideal().with_faults(FaultInjector::new(FaultSpec::none(), 1));
         let input = Tensor3::random(2, 8, 8, 0.0, 1.0, 16);
         let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 17);
-        let a = clean.conv2d(&input, &weights, 1, 1).unwrap();
-        let b = faulted.conv2d(&input, &weights, 1, 1).unwrap();
+        let a = clean
+            .conv2d(&input, &weights, 1, 1)
+            .expect("optical conv runs");
+        let b = faulted
+            .conv2d(&input, &weights, 1, 1)
+            .expect("optical conv runs");
         assert_eq!(a.data(), b.data());
     }
 
@@ -517,13 +578,15 @@ mod tests {
         use refocus_photonics::faults::{FaultInjector, FaultSpec};
         let input = Tensor3::random(2, 8, 8, 0.0, 1.0, 18);
         let weights = Tensor4::random(2, 2, 3, 3, -1.0, 1.0, 19);
-        let reference = conv2d(&input, &weights, 1, 1).unwrap();
+        let reference = conv2d(&input, &weights, 1, 1).expect("digital reference runs");
         let base = FaultSpec::none().with_dead_pixel_rate(0.02);
         let mut prev = 0.0;
         for severity in [0.0, 1.0, 4.0] {
             let exec =
                 OpticalExecutor::ideal().with_faults(FaultInjector::new(base.scaled(severity), 77));
-            let out = exec.conv2d(&input, &weights, 1, 1).unwrap();
+            let out = exec
+                .conv2d(&input, &weights, 1, 1)
+                .expect("optical conv runs");
             let err = max_diff(&out, &reference);
             assert!(err >= prev, "severity {severity}: error {err} < {prev}");
             prev = err;
@@ -540,12 +603,18 @@ mod tests {
         ));
         let input = Tensor3::random(1, 6, 6, 0.0, 1.0, 20);
         let weights = Tensor4::random(1, 1, 3, 3, -1.0, 1.0, 21);
-        let first = exec.conv2d(&input, &weights, 1, 0).unwrap();
-        let unreset = exec.conv2d(&input, &weights, 1, 0).unwrap();
+        let first = exec
+            .conv2d(&input, &weights, 1, 0)
+            .expect("unpadded conv runs");
+        let unreset = exec
+            .conv2d(&input, &weights, 1, 0)
+            .expect("unpadded conv runs");
         // Drift walk continued: second run differs.
         assert_ne!(first.data(), unreset.data());
         exec.reset_faults();
-        let replayed = exec.conv2d(&input, &weights, 1, 0).unwrap();
+        let replayed = exec
+            .conv2d(&input, &weights, 1, 0)
+            .expect("unpadded conv runs");
         assert_eq!(first.data(), replayed.data());
     }
 }

@@ -20,6 +20,10 @@
 //! * [`error`] — the unified [`SimError`](error::SimError) hierarchy.
 //! * [`campaign`] — fault-injection campaign runner over the functional
 //!   conv path.
+//! * [`guard`] — numerical firewall at stage boundaries (NaN/∞ →
+//!   [`SimError::NonFinite`](error::SimError::NonFinite)).
+//! * [`checkpoint`] — crash-safe JSON-lines journals for resumable
+//!   campaign and DSE runs.
 //!
 //! ```
 //! use refocus_arch::config::AcceleratorConfig;
@@ -38,12 +42,14 @@ pub mod ablation;
 pub mod area;
 pub mod baselines;
 pub mod campaign;
+pub mod checkpoint;
 pub mod config;
 pub mod dataflow;
 pub mod dse;
 pub mod energy;
 pub mod error;
 pub mod functional;
+pub mod guard;
 pub mod metrics;
 pub mod perf;
 pub mod rfcu;

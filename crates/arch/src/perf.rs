@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn cycle_count_structure() {
         let cfg = AcceleratorConfig::refocus_ff();
-        let perf = LayerPerf::analyze(&layer_56(), &cfg).unwrap();
+        let perf = LayerPerf::analyze(&layer_56(), &cfg).expect("56x56 layer maps");
         assert_eq!(perf.channel_iterations, 32); // 64 / 2 wavelengths
         assert_eq!(perf.filter_iterations, 8); // 64/16 * 2 pseudo-negative
         assert_eq!(
@@ -185,8 +185,8 @@ mod tests {
         let two = AcceleratorConfig::refocus_ff();
         let mut one = AcceleratorConfig::refocus_ff();
         one.wavelengths = 1;
-        let p2 = LayerPerf::analyze(&layer_56(), &two).unwrap();
-        let p1 = LayerPerf::analyze(&layer_56(), &one).unwrap();
+        let p2 = LayerPerf::analyze(&layer_56(), &two).expect("56x56 layer maps");
+        let p1 = LayerPerf::analyze(&layer_56(), &one).expect("56x56 layer maps");
         assert_eq!(p1.cycles, 2 * p2.cycles);
     }
 
@@ -199,9 +199,9 @@ mod tests {
             sram_buffers: true,
             ..AcceleratorConfig::photofourier_baseline()
         };
-        let pf = LayerPerf::analyze(&layer_56(), &ff).unwrap();
-        let pb = LayerPerf::analyze(&layer_56(), &fb).unwrap();
-        let p0 = LayerPerf::analyze(&layer_56(), &base).unwrap();
+        let pf = LayerPerf::analyze(&layer_56(), &ff).expect("56x56 layer maps");
+        let pb = LayerPerf::analyze(&layer_56(), &fb).expect("56x56 layer maps");
+        let p0 = LayerPerf::analyze(&layer_56(), &base).expect("56x56 layer maps");
         assert_eq!(pf.cycles, pb.cycles);
         assert_eq!(pf.cycles, p0.cycles);
         // FF halves generation; FB cuts it by min(16, filter iterations)=8.
@@ -216,11 +216,11 @@ mod tests {
         // A 64-filter layer on 16 RFCUs: 4*2 = 8 filter iterations, so FB's
         // R=15 cannot be fully exploited (§4.1.3's caveat inverted).
         let fb = AcceleratorConfig::refocus_fb();
-        let p = LayerPerf::analyze(&layer_56(), &fb).unwrap();
+        let p = LayerPerf::analyze(&layer_56(), &fb).expect("56x56 layer maps");
         assert_eq!(p.input_uses, 8);
         // A 512-filter layer: 64 iterations >= 16 -> full reuse.
         let big = ConvSpec::new("c", 64, 512, 3, 1, 1, (14, 14));
-        let p = LayerPerf::analyze(&big, &fb).unwrap();
+        let p = LayerPerf::analyze(&big, &fb).expect("large layer maps");
         assert_eq!(p.input_uses, 16);
     }
 
@@ -228,7 +228,7 @@ mod tests {
     fn first_layer_limits_temporal_accumulation() {
         let cfg = AcceleratorConfig::refocus_ff();
         let stem = ConvSpec::new("conv1", 3, 64, 7, 2, 3, (224, 224));
-        let p = LayerPerf::analyze(&stem, &cfg).unwrap();
+        let p = LayerPerf::analyze(&stem, &cfg).expect("stem layer maps");
         // ceil(3/2) = 2 channel iterations < 16.
         assert_eq!(p.effective_ta, 2);
     }
@@ -236,10 +236,10 @@ mod tests {
     #[test]
     fn weight_duty_reflects_kernel_size() {
         let cfg = AcceleratorConfig::refocus_ff();
-        let k3 = LayerPerf::analyze(&layer_56(), &cfg).unwrap();
+        let k3 = LayerPerf::analyze(&layer_56(), &cfg).expect("56x56 layer maps");
         assert!((k3.weight_duty - 9.0 / 25.0).abs() < 1e-12);
         let k1 = ConvSpec::new("c", 64, 128, 1, 2, 0, (56, 56));
-        let p1 = LayerPerf::analyze(&k1, &cfg).unwrap();
+        let p1 = LayerPerf::analyze(&k1, &cfg).expect("1x1 layer maps");
         assert!((p1.weight_duty - 1.0 / 25.0).abs() < 1e-12);
     }
 
@@ -247,7 +247,7 @@ mod tests {
     fn network_perf_sums_layers() {
         let cfg = AcceleratorConfig::refocus_ff();
         let net = models::resnet18();
-        let perf = NetworkPerf::analyze(&net, &cfg).unwrap();
+        let perf = NetworkPerf::analyze(&net, &cfg).expect("network maps");
         assert_eq!(perf.layers.len(), net.layers().len());
         let sum: u64 = perf.layers.iter().map(|l| l.cycles).sum();
         assert_eq!(perf.total_cycles, sum);
@@ -260,7 +260,9 @@ mod tests {
         // ResNet-scale networks (PhotoFourier reports O(1e3-1e4)).
         let cfg = AcceleratorConfig::refocus_ff();
         for (net, lo, hi) in [(models::resnet18(), 2e3, 3e5), (models::vgg16(), 5e2, 1e5)] {
-            let fps = NetworkPerf::analyze(&net, &cfg).unwrap().fps(&cfg);
+            let fps = NetworkPerf::analyze(&net, &cfg)
+                .expect("network maps")
+                .fps(&cfg);
             assert!((lo..hi).contains(&fps), "{}: {fps}", net.name());
         }
     }
@@ -271,15 +273,19 @@ mod tests {
         let mut small = AcceleratorConfig::refocus_ff();
         small.rfcus = 8;
         let big = AcceleratorConfig::refocus_ff();
-        let f_small = NetworkPerf::analyze(&net, &small).unwrap().fps(&small);
-        let f_big = NetworkPerf::analyze(&net, &big).unwrap().fps(&big);
+        let f_small = NetworkPerf::analyze(&net, &small)
+            .expect("network maps")
+            .fps(&small);
+        let f_big = NetworkPerf::analyze(&net, &big)
+            .expect("network maps")
+            .fps(&big);
         assert!(f_big > f_small);
     }
 
     #[test]
     fn duration_consistent_with_cycles() {
         let cfg = AcceleratorConfig::refocus_ff();
-        let p = LayerPerf::analyze(&layer_56(), &cfg).unwrap();
+        let p = LayerPerf::analyze(&layer_56(), &cfg).expect("56x56 layer maps");
         let d = p.duration(&cfg).value();
         assert!((d - p.cycles as f64 / 1e10).abs() < 1e-15);
     }

@@ -195,25 +195,27 @@ mod tests {
     fn schedule_matches_perf_model() {
         let layer = small_layer();
         let cfg = small_config();
-        let perf = LayerPerf::analyze(&layer, &cfg).unwrap();
-        let sched = Schedule::compile(&layer, &cfg).unwrap();
+        let perf = LayerPerf::analyze(&layer, &cfg).expect("layer maps onto the JTC");
+        let sched = Schedule::compile(&layer, &cfg).expect("layer schedules");
         assert_eq!(sched.cycles(), perf.cycles);
         assert_eq!(sched.generation_cycles(), perf.generation_cycles);
     }
 
     #[test]
     fn fifo_invariant_holds() {
-        let sched = Schedule::compile(&small_layer(), &small_config()).unwrap();
+        let sched =
+            Schedule::compile(&small_layer(), &small_config()).expect("small layer schedules");
         assert!(sched.verify_fifo());
     }
 
     #[test]
     fn every_cycle_has_a_filter_iteration() {
-        let sched = Schedule::compile(&small_layer(), &small_config()).unwrap();
+        let sched =
+            Schedule::compile(&small_layer(), &small_config()).expect("small layer schedules");
         // Filter iterations appear in non-decreasing chunks and within
         // bounds.
         let cfg = small_config();
-        let perf = LayerPerf::analyze(&small_layer(), &cfg).unwrap();
+        let perf = LayerPerf::analyze(&small_layer(), &cfg).expect("small layer maps onto the JTC");
         for slot in sched.slots() {
             assert!((slot.filter_iteration as u64) < perf.filter_iterations);
         }
@@ -222,8 +224,8 @@ mod tests {
     #[test]
     fn readouts_follow_accumulation_windows() {
         let cfg = small_config();
-        let sched = Schedule::compile(&small_layer(), &cfg).unwrap();
-        let perf = LayerPerf::analyze(&small_layer(), &cfg).unwrap();
+        let sched = Schedule::compile(&small_layer(), &cfg).expect("small layer schedules");
+        let perf = LayerPerf::analyze(&small_layer(), &cfg).expect("small layer maps onto the JTC");
         // One readout per (window, use) per chunk x filter phase:
         // readouts = cycles / effective window size.
         assert_eq!(sched.readouts(), perf.cycles / perf.effective_ta);
@@ -233,7 +235,7 @@ mod tests {
     fn no_buffer_means_no_reuse_slots() {
         let layer = small_layer();
         let cfg = AcceleratorConfig::photofourier_baseline();
-        let sched = Schedule::compile(&layer, &cfg).unwrap();
+        let sched = Schedule::compile(&layer, &cfg).expect("layer schedules");
         assert!(sched
             .slots()
             .iter()
@@ -247,7 +249,7 @@ mod tests {
         // `groups-in-window` cycles after its generation — the delay-line
         // length the dataflow was designed around (§4.1.4).
         let cfg = small_config();
-        let sched = Schedule::compile(&small_layer(), &cfg).unwrap();
+        let sched = Schedule::compile(&small_layer(), &cfg).expect("small layer schedules");
         let mut saw_reuse = false;
         for slot in sched.slots() {
             if let InputOp::Reuse { delay, .. } = slot.input {

@@ -8,7 +8,7 @@
 use crate::area::{area_breakdown, AreaBreakdown};
 use crate::config::{AcceleratorConfig, OpticalBufferKind};
 use crate::energy::{EnergyBreakdown, EnergyModel, EnergyOptions};
-use crate::error::SimError;
+use crate::error::{FailureKind, SimError};
 use crate::metrics::{geomean, Metrics};
 use crate::perf::NetworkPerf;
 use refocus_nn::layer::Network;
@@ -152,6 +152,19 @@ pub fn simulate_with_options(
         energy_j: energy.total().value() / config.batch.max(1) as f64,
         macs: network.total_macs(),
     };
+    // Executor→metrics firewall: a NaN or divergent metric here would
+    // poison every geomean aggregate downstream; fail the report with a
+    // typed error instead.
+    crate::guard::check_finite(
+        "metrics",
+        &[
+            metrics.fps,
+            metrics.power_w,
+            metrics.area_mm2,
+            metrics.latency_s,
+            metrics.energy_j,
+        ],
+    )?;
     Ok(Report {
         config_name: config.name.clone(),
         network_name: network.name().to_string(),
@@ -163,13 +176,28 @@ pub fn simulate_with_options(
     })
 }
 
+/// A network whose simulation failed while the rest of the suite
+/// completed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteFailure {
+    /// Name of the failing network.
+    pub network: String,
+    /// Classification of the error.
+    pub kind: FailureKind,
+    /// Rendered message of the error.
+    pub error: String,
+}
+
 /// Suite-level results: per-network reports plus geomean metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SuiteReport {
     /// Configuration name.
     pub config_name: String,
-    /// One report per network.
+    /// One report per network that completed, suite order.
     pub reports: Vec<Report>,
+    /// Networks whose simulation failed (panic included), suite order.
+    /// Geomean accessors aggregate the successful reports only.
+    pub failed: Vec<SuiteFailure>,
 }
 
 impl SuiteReport {
@@ -232,14 +260,23 @@ impl SuiteReport {
     pub fn for_network(&self, name: &str) -> Option<&Report> {
         self.reports.iter().find(|r| r.network_name == name)
     }
+
+    /// Whether every network in the suite completed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
 }
 
 /// Simulates every network in `suite` on `config`.
 ///
+/// Per-network failures — typed errors and worker panics alike — land
+/// in [`SuiteReport::failed`] while every other network completes;
+/// check [`SuiteReport::is_complete`] when partial suites are
+/// unacceptable.
+///
 /// # Errors
 ///
-/// Returns [`SimError::EmptySuite`] for an empty suite, otherwise the
-/// first [`SimError`] any network's simulation produces.
+/// Returns [`SimError::EmptySuite`] for an empty suite.
 pub fn simulate_suite(
     suite: &[Network],
     config: &AcceleratorConfig,
@@ -247,14 +284,29 @@ pub fn simulate_suite(
     if suite.is_empty() {
         return Err(SimError::EmptySuite);
     }
-    // Networks simulate independently; fan out onto the pool and keep
-    // suite order (and the first error in suite order) deterministic.
-    let reports = refocus_par::par_map(suite, |net| simulate(net, config))
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()?;
+    // Networks simulate independently; fan out onto the pool with
+    // per-item panic isolation and keep suite order deterministic.
+    let results = refocus_par::par_map_catch_indexed(suite, |_, net| simulate(net, config));
+    let mut reports = Vec::new();
+    let mut failed = Vec::new();
+    for ((item, net), result) in suite.iter().enumerate().zip(results) {
+        let outcome = match result {
+            Ok(inner) => inner,
+            Err(message) => Err(SimError::WorkerPanic { item, message }),
+        };
+        match outcome {
+            Ok(report) => reports.push(report),
+            Err(e) => failed.push(SuiteFailure {
+                network: net.name().to_string(),
+                kind: e.kind(),
+                error: e.to_string(),
+            }),
+        }
+    }
     Ok(SuiteReport {
         config_name: config.name.clone(),
         reports,
+        failed,
     })
 }
 
@@ -407,6 +459,43 @@ mod tests {
         let suite = [models::resnet18(), models::alexnet()];
         let s = simulate_suite(&suite, &cfg).unwrap();
         assert_eq!(s.degradations().len(), 2);
+    }
+
+    #[test]
+    fn failing_network_is_isolated_from_the_suite() {
+        // An empty (deserialized) network fails; the real ones complete.
+        let empty: refocus_nn::layer::Network =
+            serde_json::from_str(r#"{"name":"empty-net","layers":[]}"#)
+                .expect("hand-written network JSON parses");
+        let suite = [models::resnet18(), empty, models::alexnet()];
+        let s = simulate_suite(&suite, &AcceleratorConfig::refocus_fb())
+            .expect("suite survives the bad network");
+        assert_eq!(s.reports.len(), 2);
+        assert_eq!(s.failed.len(), 1);
+        assert!(!s.is_complete());
+        let failure = &s.failed[0];
+        assert_eq!(failure.network, "empty-net");
+        assert_eq!(failure.kind, crate::error::FailureKind::Empty);
+        assert!(s.for_network("ResNet-18").is_some());
+        assert!(s.for_network("AlexNet").is_some());
+        assert!(s.geomean_fps() > 0.0, "geomeans aggregate the survivors");
+    }
+
+    #[test]
+    fn unrecoverable_suite_records_dynamic_range_failures() {
+        let cfg = AcceleratorConfig {
+            optical_buffer: OpticalBufferKind::FeedBack { reuses: 1 },
+            delay_cycles: 60_000,
+            temporal_accumulation: 16,
+            ..AcceleratorConfig::refocus_fb()
+        };
+        let suite = [models::resnet18(), models::alexnet()];
+        let s = simulate_suite(&suite, &cfg).expect("suite itself completes");
+        assert!(s.reports.is_empty());
+        assert_eq!(s.failed.len(), 2);
+        for failure in &s.failed {
+            assert_eq!(failure.kind, crate::error::FailureKind::DynamicRange);
+        }
     }
 
     #[test]

@@ -124,7 +124,9 @@ fn fault_campaign_is_thread_count_invariant() {
 #[test]
 fn dse_sweep_is_thread_count_invariant() {
     let suite = [models::resnet18()];
-    assert_invariant("DSE sweep", || sweep(Variant::FeedForward, &suite).unwrap());
+    assert_invariant("DSE sweep", || {
+        sweep(Variant::FeedForward, &suite).expect("sweep completes")
+    });
 }
 
 #[test]

@@ -182,6 +182,7 @@ impl Accelerator {
         Ok(SuiteReport {
             config_name: self.config.name.clone(),
             reports,
+            failed: Vec::new(),
         })
     }
 }

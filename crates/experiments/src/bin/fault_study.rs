@@ -1,0 +1,154 @@
+//! Runs the fault-injection campaign with resilient-execution controls.
+//!
+//! ```text
+//! cargo run -p refocus-experiments --bin fault_study
+//! cargo run -p refocus-experiments --bin fault_study -- --checkpoint run.jsonl
+//! cargo run -p refocus-experiments --bin fault_study -- --resume run.jsonl
+//! cargo run -p refocus-experiments --bin fault_study -- \
+//!     --checkpoint run.jsonl --max-cells 4 --retries 2 --json
+//! ```
+//!
+//! `--checkpoint` journals each completed cell to the given path and
+//! replays any cells already journaled there, so an interrupted (or
+//! budget-limited) invocation can be re-run with the same flags until
+//! the report is complete. `--resume` is the strict variant: the journal
+//! must already exist. Both produce reports bit-identical to a single
+//! uninterrupted run.
+
+use refocus_experiments::fault_study;
+use refocus_experiments::render::Table;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use refocus_arch::campaign::RunBudget;
+
+struct Options {
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    budget: RunBudget,
+    json: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fault_study [--checkpoint <path> | --resume <path>] \
+     [--max-cells <n>] [--retries <n>] [--wall-clock-secs <n>] [--json]"
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        checkpoint: None,
+        resume: None,
+        budget: RunBudget::default(),
+        json: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--json" => opts.json = true,
+            "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
+            "--max-cells" => {
+                let n = value("--max-cells")?
+                    .parse()
+                    .map_err(|e| format!("--max-cells: {e}"))?;
+                opts.budget = opts.budget.with_max_cells(n);
+            }
+            "--retries" => {
+                let n = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+                opts.budget = opts.budget.with_retries(n);
+            }
+            "--wall-clock-secs" => {
+                let secs: u64 = value("--wall-clock-secs")?
+                    .parse()
+                    .map_err(|e| format!("--wall-clock-secs: {e}"))?;
+                opts.budget = opts.budget.with_wall_clock(Duration::from_secs(secs));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    if opts.checkpoint.is_some() && opts.resume.is_some() {
+        return Err("--checkpoint and --resume are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let campaign = fault_study::campaign();
+    let result = if let Some(path) = &opts.resume {
+        campaign.resume(path)
+    } else if let Some(path) = &opts.checkpoint {
+        campaign.run_with_checkpoint(path, &opts.budget)
+    } else {
+        campaign.run_budgeted(&opts.budget)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut t = Table::new(
+        "output error vs fault severity (ReFOCUS-FB conv path)",
+        &["severity", "seeds", "mean max |err|", "mean RMS err"],
+    );
+    for row in &report.rows {
+        t.push_row(vec![
+            format!("{:.1}x", row.severity),
+            row.seeds.to_string(),
+            format!("{:.3e}", row.mean_max_abs_error),
+            format!("{:.3e}", row.mean_rms_error),
+        ]);
+    }
+    println!("{t}");
+    for failure in &report.failed {
+        eprintln!(
+            "failed cell: severity {:.1}x seed {} after {} attempt(s) ({}): {}",
+            failure.severity, failure.seed, failure.attempts, failure.kind, failure.error
+        );
+    }
+    if !report.skipped.is_empty() {
+        eprintln!(
+            "{} cell(s) skipped by the budget; re-run with the same --checkpoint to continue",
+            report.skipped.len()
+        );
+    }
+    if report.is_complete() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

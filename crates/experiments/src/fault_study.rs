@@ -31,6 +31,11 @@ pub fn campaign() -> FaultCampaign {
 /// Regenerates the fault study.
 pub fn run() -> Experiment {
     let report = campaign().run().expect("campaign runs");
+    assert!(
+        report.is_complete(),
+        "default budget lost cells: {:?}",
+        report.failed
+    );
     let mut t = Table::new(
         "output error vs fault severity (ReFOCUS-FB conv path)",
         &[
@@ -68,17 +73,19 @@ mod tests {
 
     #[test]
     fn study_is_deterministic() {
-        let a = campaign().run().unwrap();
-        let b = campaign().run().unwrap();
+        let a = campaign().run().expect("campaign runs");
+        let b = campaign().run().expect("campaign runs");
         assert_eq!(a, b);
     }
 
     #[test]
     fn fault_free_row_is_exact_and_errors_grow() {
-        let report = campaign().run().unwrap();
-        assert_eq!(report.row_at(0.0).unwrap().mean_max_abs_error, 0.0);
+        let report = campaign().run().expect("campaign runs");
+        let clean = report.row_at(0.0).expect("severity 0 is in the sweep");
+        assert_eq!(clean.mean_max_abs_error, 0.0);
         assert!(report.errors_monotone_in_severity(1e-12));
-        assert!(report.row_at(4.0).unwrap().mean_max_abs_error > 0.0);
+        let worst = report.row_at(4.0).expect("severity 4 is in the sweep");
+        assert!(worst.mean_max_abs_error > 0.0);
     }
 
     #[test]

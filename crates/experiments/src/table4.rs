@@ -33,7 +33,9 @@ pub fn compute() -> (Vec<DseRow>, Vec<DseRow>) {
     let suite = models::dse_suite();
     let ff = sweep(Variant::FeedForward, &suite).expect("suite maps");
     let fb = sweep(Variant::FeedBack, &suite).expect("suite maps");
-    (ff, fb)
+    assert!(ff.is_complete(), "FF sweep lost points: {:?}", ff.failed);
+    assert!(fb.is_complete(), "FB sweep lost points: {:?}", fb.failed);
+    (ff.rows, fb.rows)
 }
 
 fn table_for(name: &str, rows: &[DseRow], paper: &[(u32, usize, f64, f64, f64)]) -> Table {

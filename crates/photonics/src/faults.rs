@@ -371,6 +371,19 @@ impl FaultInjector {
         first
     }
 
+    /// An injector whose epoch counter starts at `count` instead of 0,
+    /// as if `count` epochs had already been reserved.
+    ///
+    /// Retry logic uses this to give attempt *k* of a failed work item
+    /// fault/noise streams disjoint from attempts `0..k`: rebuilding the
+    /// injector with `k` burned epochs shifts every subsequent
+    /// [`FaultInjector::reserve_epochs`] call, deterministically in `k`
+    /// and independent of thread count or wall-clock ordering.
+    pub fn with_reserved_epochs(mut self, count: u64) -> Self {
+        self.epochs = count;
+        self
+    }
+
     /// Derives the injector for work item `item` of fan-out `epoch`.
     ///
     /// The child shares `spec` and `seed` — so stuck-tap, dead-pixel and
@@ -738,6 +751,31 @@ mod tests {
         let w0: Vec<f64> = (0..16).map(|_| e0.laser_drift_step()).collect();
         let w1: Vec<f64> = (0..16).map(|_| e1.laser_drift_step()).collect();
         assert_ne!(w0, w1);
+    }
+
+    #[test]
+    fn with_reserved_epochs_shifts_streams_deterministically() {
+        let spec = FaultSpec::none().with_laser_drift(0.01, 0.2);
+        // Attempt 0: fresh injector, first fan-out gets epoch 0.
+        let mut attempt0 = FaultInjector::new(spec, 11);
+        let e0 = attempt0.reserve_epochs(1);
+        assert_eq!(e0, 0);
+        // Attempt 1: one burned epoch; the same fan-out now gets epoch 1
+        // and therefore a decorrelated stream for the same item.
+        let mut attempt1 = FaultInjector::new(spec, 11).with_reserved_epochs(1);
+        let e1 = attempt1.reserve_epochs(1);
+        assert_eq!(e1, 1);
+        let mut w0 = attempt0.for_work_item(e0, 0);
+        let mut w1 = attempt1.for_work_item(e1, 0);
+        let d0: Vec<f64> = (0..16).map(|_| w0.laser_drift_step()).collect();
+        let d1: Vec<f64> = (0..16).map(|_| w1.laser_drift_step()).collect();
+        assert_ne!(d0, d1, "retry attempts must see different streams");
+        // Rebuilding attempt 1 replays it exactly.
+        let mut again = FaultInjector::new(spec, 11).with_reserved_epochs(1);
+        let e1b = again.reserve_epochs(1);
+        let mut w1b = again.for_work_item(e1b, 0);
+        let d1b: Vec<f64> = (0..16).map(|_| w1b.laser_drift_step()).collect();
+        assert_eq!(d1, d1b, "same attempt index must replay identically");
     }
 
     #[test]

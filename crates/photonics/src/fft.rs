@@ -681,6 +681,65 @@ mod tests {
     }
 
     #[test]
+    fn real_round_trip_at_bluestein_lengths() {
+        // 97 is prime (pure Bluestein); 1000 is even but not a power of
+        // two (mixed fallback). Both must survive rfft → ifft and
+        // ifft_real → fft round trips to spectral accuracy.
+        for n in [97usize, 1000] {
+            let x: Vec<f64> = (0..n).map(|i| 0.5 + (i as f64 * 0.31).sin()).collect();
+            let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+
+            let back = ifft_of(&rfft(&x));
+            assert_close(&back, &xc, 1e-8 * n as f64);
+
+            // ifft_real treats its input as a real spectrum; the forward
+            // transform of its output must recover that spectrum.
+            let spectrum = fft_of(&ifft_real(&x));
+            assert_close(&spectrum, &xc, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn all_zero_signal_round_trips_to_exact_zero() {
+        for n in [97usize, 1000] {
+            let zeros = vec![0.0; n];
+            assert!(rfft(&zeros).iter().all(|v| v.norm() == 0.0), "n={n}");
+            assert!(ifft_real(&zeros).iter().all(|v| v.norm() == 0.0), "n={n}");
+            let back = ifft_of(&rfft(&zeros));
+            assert!(back.iter().all(|v| v.norm() == 0.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_impulse_round_trips_at_odd_length() {
+        for n in [97usize, 1000] {
+            // Impulse at the origin: flat unit spectrum.
+            let mut x = vec![0.0; n];
+            x[0] = 1.0;
+            for (k, v) in rfft(&x).iter().enumerate() {
+                assert!((*v - Complex64::ONE).norm() < 1e-9, "n={n} bin {k}");
+            }
+
+            // Impulse off the origin: unit-magnitude bins, and the
+            // round trip restores the impulse to its position.
+            let mut shifted = vec![0.0; n];
+            shifted[n / 3] = 1.0;
+            let spectrum = rfft(&shifted);
+            for (k, v) in spectrum.iter().enumerate() {
+                assert!((v.norm() - 1.0).abs() < 1e-9, "n={n} bin {k}");
+            }
+            let back = ifft_of(&spectrum);
+            for (i, v) in back.iter().enumerate() {
+                let want = if i == n / 3 { 1.0 } else { 0.0 };
+                assert!(
+                    (*v - Complex64::from_real(want)).norm() < 1e-9,
+                    "n={n} sample {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn time_shift_is_frequency_phase_ramp() {
         // x[(n-1) mod N] should transform to X[k] * e^(-2 pi i k / N).
         let n = 16;

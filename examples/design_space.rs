@@ -23,7 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("ReFOCUS-FF", Variant::FeedForward),
         ("ReFOCUS-FB", Variant::FeedBack),
     ] {
-        let rows = sweep_with_budget(variant, &suite, budget)?;
+        let report = sweep_with_budget(variant, &suite, budget)?;
+        for failure in &report.failed {
+            eprintln!(
+                "warning: M={} failed ({}): {}",
+                failure.delay_cycles, failure.kind, failure.error
+            );
+        }
+        let rows = report.rows;
         println!("{name}:");
         println!(
             "{:>4} {:>7} {:>8} {:>10} {:>7}",
