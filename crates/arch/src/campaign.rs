@@ -527,6 +527,13 @@ impl FaultCampaign {
         budget: &RunBudget,
         journal: Option<&mut Checkpoint<CampaignCell>>,
     ) -> Result<CampaignReport, SimError> {
+        let _run = refocus_obs::span_with("campaign.run", || {
+            format!(
+                "severities={} seeds={}",
+                self.severities.len(),
+                self.seeds.len()
+            )
+        });
         self.config.validate()?;
         self.spec.validate()?;
         for &severity in &self.severities {
@@ -575,15 +582,20 @@ impl FaultCampaign {
 
         let outcomes: Vec<CellOutcome> =
             refocus_par::par_map_indexed(&grid, |item, &(severity, seed)| {
+                let _cell = refocus_obs::span_with("campaign.cell", || {
+                    format!("severity={severity} seed={seed}")
+                });
                 let key = cell_key(severity, seed);
                 if let Some(journal) = &journal {
                     let guard = journal.lock().expect("journal lock never poisoned");
                     if let Some(cell) = guard.get(&key) {
+                        refocus_obs::counter("campaign.cells.replayed", 1);
                         return CellOutcome::Done(*cell);
                     }
                 }
                 if let Some(deadline) = deadline {
                     if Instant::now() >= deadline {
+                        refocus_obs::counter("campaign.cells.skipped", 1);
                         return CellOutcome::Skipped(SkippedCell {
                             severity,
                             seed,
@@ -593,6 +605,7 @@ impl FaultCampaign {
                 }
                 if let Some(max) = budget.max_cells {
                     if fresh_cells.fetch_add(1, Ordering::Relaxed) >= max {
+                        refocus_obs::counter("campaign.cells.skipped", 1);
                         return CellOutcome::Skipped(SkippedCell {
                             severity,
                             seed,
@@ -603,6 +616,12 @@ impl FaultCampaign {
 
                 let mut attempt = 0u32;
                 loop {
+                    if attempt > 0 {
+                        refocus_obs::counter("campaign.retries", 1);
+                    }
+                    let _attempt = refocus_obs::span_with("campaign.cell.attempt", || {
+                        format!("severity={severity} seed={seed} attempt={attempt}")
+                    });
                     let caught = refocus_par::catch_item(|| {
                         self.run_cell(severity, seed, attempt, &input, &weights, &reference)
                     });

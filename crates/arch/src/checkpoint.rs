@@ -163,8 +163,10 @@ impl<T: Serialize + Deserialize> Checkpoint<T> {
             path: path.to_path_buf(),
             message,
         };
+        let _load = refocus_obs::span("checkpoint.load");
         let text =
             fs::read_to_string(path).map_err(|e| err(format!("cannot read checkpoint: {e}")))?;
+        refocus_obs::counter("checkpoint.bytes_read", text.len() as u64);
         let mut lines = text.lines();
         let header_line = lines.next().ok_or_else(|| err("empty journal".into()))?;
         let header: Header = serde_json::from_str(header_line)
@@ -260,6 +262,8 @@ impl<T: Serialize + Deserialize> Checkpoint<T> {
     /// crash leaves either the previous or the new journal — never a
     /// half-written one.
     fn persist(&self) -> Result<(), CheckpointError> {
+        let _persist =
+            refocus_obs::span_with("checkpoint.persist", || format!("records={}", self.len()));
         let err = |message: String| CheckpointError {
             path: self.path.clone(),
             message,
@@ -278,6 +282,8 @@ impl<T: Serialize + Deserialize> Checkpoint<T> {
         let mut tmp = self.path.clone().into_os_string();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
+        refocus_obs::counter("checkpoint.bytes_written", text.len() as u64);
+        refocus_obs::counter("checkpoint.persists", 1);
         let mut file =
             fs::File::create(&tmp).map_err(|e| err(format!("cannot create temp file: {e}")))?;
         file.write_all(text.as_bytes())

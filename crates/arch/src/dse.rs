@@ -230,10 +230,12 @@ fn sweep_impl(
     // the pool with per-point panic isolation; results come back in
     // sweep order.
     let outcomes: Vec<Outcome> = refocus_par::par_map(&TABLE4_DELAY_CYCLES, |&m| {
+        let _point = refocus_obs::span_with("dse.design_point", || format!("M={m}"));
         let key = m.to_string();
         if let Some(journal) = &journal {
             let guard = journal.lock().expect("journal lock never poisoned");
             if let Some(per_m) = guard.get(&key) {
+                refocus_obs::counter("dse.points.replayed", 1);
                 return Outcome::Done(per_m.clone());
             }
         }

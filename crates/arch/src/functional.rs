@@ -215,6 +215,15 @@ impl OpticalExecutor {
             }));
         }
 
+        let _conv = refocus_obs::span_with("conv2d", || {
+            format!(
+                "in={}x{}x{} out_ch={}",
+                input.channels(),
+                input.height(),
+                input.width(),
+                weights.out_channels()
+            )
+        });
         let split = PseudoNegativeSplit::of(weights);
         let padded = input.pad_spatial(padding);
         let (kh, kw) = (weights.kernel_h(), weights.kernel_w());
@@ -248,6 +257,9 @@ impl OpticalExecutor {
         let channels: Vec<usize> = (0..weights.out_channels()).collect();
         let results: Vec<Result<(Vec<f64>, u64), FunctionalError>> =
             refocus_par::par_map(&channels, |&o| {
+                // One span per output-channel worker: this is the unit the
+                // row-tiling fan-out distributes over pool threads.
+                let _chan = refocus_obs::span_with("conv2d.channel", || format!("oc={o}"));
                 let mut worker_faults = faults.map(|f| f.for_work_item(epoch, o as u64));
                 let mut local_passes = 0u64;
                 // Accumulate positive and negative halves over channels.
@@ -301,6 +313,7 @@ impl OpticalExecutor {
             // which worker hit it first on the wall clock.
             let (flat, local_passes) = result?;
             total_passes += local_passes;
+            refocus_obs::counter("conv2d.optical_passes", local_passes);
             for oy in 0..out_h {
                 for ox in 0..out_w {
                     out.set(o, oy, ox, flat[oy * out_w + ox]);

@@ -17,11 +17,11 @@
 //! * [`functional`] — run real numbers through the optical path and check
 //!   them against digital convolution.
 //! * [`schedule`] — static VLIW-style instruction scheduling (§7.1).
-//! * [`error`] — the unified [`SimError`](error::SimError) hierarchy.
+//! * [`error`] — the unified [`error::SimError`] hierarchy.
 //! * [`campaign`] — fault-injection campaign runner over the functional
 //!   conv path.
 //! * [`guard`] — numerical firewall at stage boundaries (NaN/∞ →
-//!   [`SimError::NonFinite`](error::SimError::NonFinite)).
+//!   [`error::SimError::NonFinite`]).
 //! * [`checkpoint`] — crash-safe JSON-lines journals for resumable
 //!   campaign and DSE runs.
 //!

@@ -65,6 +65,7 @@ impl LayerPerf {
     /// Returns [`TilingError`] when the layer cannot be tiled onto the
     /// configured JTC at all.
     pub fn analyze(layer: &ConvSpec, config: &AcceleratorConfig) -> Result<Self, TilingError> {
+        refocus_obs::counter("perf.layer_analyze.calls", 1);
         let plan = TilingPlan::plan(
             layer.input_hw,
             layer.kernel,
@@ -134,6 +135,7 @@ impl NetworkPerf {
         network: &refocus_nn::layer::Network,
         config: &AcceleratorConfig,
     ) -> Result<Self, TilingError> {
+        let _perf = refocus_obs::span_with("perf.network_analyze", || network.name().to_string());
         let mut layers = Vec::with_capacity(network.layers().len());
         let mut total_cycles = 0u64;
         for layer in network.layers() {

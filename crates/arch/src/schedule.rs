@@ -68,6 +68,7 @@ impl Schedule {
     ///
     /// Returns [`TilingError`] if the layer cannot map.
     pub fn compile(layer: &ConvSpec, config: &AcceleratorConfig) -> Result<Self, TilingError> {
+        let _compile = refocus_obs::span_with("schedule.compile", || layer.name.clone());
         let perf = LayerPerf::analyze(layer, config)?;
         let uses = perf.input_uses.max(1);
         let window = perf.effective_ta.max(1);

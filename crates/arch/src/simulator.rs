@@ -127,6 +127,9 @@ pub fn simulate_with_options(
     config: &AcceleratorConfig,
     options: EnergyOptions,
 ) -> Result<Report, SimError> {
+    let _sim = refocus_obs::span_with("simulate", || {
+        format!("net={} cfg={}", network.name(), config.name)
+    });
     config.validate()?;
     if network.layers().is_empty() {
         return Err(SimError::EmptyNetwork {
@@ -286,6 +289,7 @@ pub fn simulate_suite(
     }
     // Networks simulate independently; fan out onto the pool with
     // per-item panic isolation and keep suite order deterministic.
+    let _suite = refocus_obs::span_with("simulate_suite", || format!("networks={}", suite.len()));
     let results = refocus_par::par_map_catch_indexed(suite, |_, net| simulate(net, config));
     let mut reports = Vec::new();
     let mut failed = Vec::new();

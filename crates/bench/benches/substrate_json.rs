@@ -7,12 +7,34 @@
 //!
 //! ```text
 //! cargo bench -p refocus-bench --bench substrate_json
+//! cargo bench -p refocus-bench --bench substrate_json -- --check --out fresh.json
+//! cargo bench -p refocus-bench --bench substrate_json -- --trace trace.json
 //! ```
 //!
 //! Unlike the criterion targets this emits a stable JSON file meant to
 //! be checked in, so successive PRs can diff the substrate's wall-clock
 //! profile. Numbers are medians over fixed rep counts on whatever
 //! machine ran them — compare trends, not absolutes, across machines.
+//!
+//! Serial/parallel pairs are measured **interleaved** (serial rep,
+//! parallel rep, serial rep, ...) rather than as two sequential blocks:
+//! with sequential blocks, frequency/cache drift between the blocks
+//! shows up as a phantom "speedup" (the checked-in 0.92× campaign
+//! number diagnosed in DESIGN.md §10 was exactly that artifact).
+//!
+//! Flags (after `--`):
+//!
+//! - `--check`: instead of overwriting the checked-in baseline, compare
+//!   the fresh numbers against it and exit non-zero if any `speedups`
+//!   entry dropped by more than 25% or a bit-identity check flipped to
+//!   false. This is the CI `bench-regression` gate.
+//! - `--out <path>`: write the fresh report JSON to `path` (default: the
+//!   checked-in `BENCH_substrate.json`, unless `--check` is given).
+//! - `--trace <path>` / `--obs-json <path>`: after the timed reps, run
+//!   one instrumented conv2d + campaign pass under an enabled
+//!   `refocus_obs::Collector` and export the chrome trace / summary.
+//!   The timed reps themselves always run with obs disabled, so these
+//!   flags never perturb the numbers being written or checked.
 
 use refocus_arch::campaign::{FaultCampaign, Workload};
 use refocus_arch::config::AcceleratorConfig;
@@ -23,6 +45,8 @@ use refocus_photonics::faults::FaultSpec;
 use refocus_photonics::fft::{fft, rfft};
 use refocus_photonics::jtc::Jtc;
 use serde::Serialize;
+use serde_json::Value;
+use std::path::PathBuf;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -61,6 +85,13 @@ struct Report {
     benches: Vec<BenchEntry>,
 }
 
+fn stats(mut samples: Vec<u64>) -> (u64, u64) {
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    (median, mean)
+}
+
 /// Times `reps` calls of `f`, returning (median, mean) nanoseconds.
 fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (u64, u64) {
     assert!(reps > 0);
@@ -73,10 +104,31 @@ fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> (u64, u64) {
         std::hint::black_box(f());
         samples.push(start.elapsed().as_nanos() as u64);
     }
-    samples.sort_unstable();
-    let median = samples[samples.len() / 2];
-    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
-    (median, mean)
+    stats(samples)
+}
+
+/// Times two workloads with their reps interleaved (a, b, a, b, ...), so
+/// slow machine-state drift (frequency scaling, cache temperature) hits
+/// both sides equally instead of biasing whichever block ran second.
+fn time_pair<RA, RB>(
+    reps: usize,
+    mut a: impl FnMut() -> RA,
+    mut b: impl FnMut() -> RB,
+) -> ((u64, u64), (u64, u64)) {
+    assert!(reps > 0);
+    std::hint::black_box(a());
+    std::hint::black_box(b());
+    let mut samples_a: Vec<u64> = Vec::with_capacity(reps);
+    let mut samples_b: Vec<u64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(a());
+        samples_a.push(start.elapsed().as_nanos() as u64);
+        let start = Instant::now();
+        std::hint::black_box(b());
+        samples_b.push(start.elapsed().as_nanos() as u64);
+    }
+    (stats(samples_a), stats(samples_b))
 }
 
 fn entry<R>(name: &str, reps: usize, f: impl FnMut() -> R) -> BenchEntry {
@@ -88,6 +140,32 @@ fn entry<R>(name: &str, reps: usize, f: impl FnMut() -> R) -> BenchEntry {
         median_ns,
         mean_ns,
     }
+}
+
+fn pair_entries<RA, RB>(
+    name_a: &str,
+    name_b: &str,
+    reps: usize,
+    a: impl FnMut() -> RA,
+    b: impl FnMut() -> RB,
+) -> (BenchEntry, BenchEntry) {
+    let ((median_a, mean_a), (median_b, mean_b)) = time_pair(reps, a, b);
+    println!("{name_a}: median {median_a} ns over {reps} reps (interleaved)");
+    println!("{name_b}: median {median_b} ns over {reps} reps (interleaved)");
+    (
+        BenchEntry {
+            name: name_a.to_string(),
+            reps,
+            median_ns: median_a,
+            mean_ns: mean_a,
+        },
+        BenchEntry {
+            name: name_b.to_string(),
+            reps,
+            median_ns: median_b,
+            mean_ns: mean_b,
+        },
+    )
 }
 
 fn campaign() -> FaultCampaign {
@@ -106,22 +184,164 @@ fn campaign() -> FaultCampaign {
         })
 }
 
+struct Options {
+    check: bool,
+    out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    obs_json: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut opts = Options {
+        check: false,
+        out: None,
+        trace: None,
+        obs_json: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> PathBuf {
+            *i += 1;
+            PathBuf::from(args.get(*i).unwrap_or_else(|| {
+                eprintln!("flag needs a value");
+                std::process::exit(2);
+            }))
+        };
+        match args[i].as_str() {
+            "--check" => opts.check = true,
+            "--out" => opts.out = Some(value(&mut i)),
+            "--trace" => opts.trace = Some(value(&mut i)),
+            "--obs-json" => opts.obs_json = Some(value(&mut i)),
+            // `cargo bench` forwards harness flags like `--bench`.
+            "--bench" => {}
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: substrate_json [--check] [--out <path>] [--trace <path>] [--obs-json <path>]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn baseline_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json")
+}
+
+fn lookup<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Map(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(v) => Some(*v),
+        Value::U64(v) => Some(*v as f64),
+        Value::I64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// The CI regression gate: each fresh `speedups` entry must be within
+/// 25% of the checked-in baseline, and no bit-identity check may flip
+/// to false. Returns the number of violations (0 = pass).
+fn check_against_baseline(report: &Report) -> usize {
+    let text = match std::fs::read_to_string(baseline_path()) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", baseline_path());
+            return 1;
+        }
+    };
+    let baseline = match serde_json::parse_value_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot parse baseline {}: {e}", baseline_path());
+            return 1;
+        }
+    };
+    let mut violations = 0;
+    let fresh = [
+        ("conv2d", report.speedups.conv2d),
+        ("campaign", report.speedups.campaign),
+        ("rfft_vs_fft_1024", report.speedups.rfft_vs_fft_1024),
+    ];
+    let base_speedups = lookup(&baseline, "speedups");
+    for (name, fresh_value) in fresh {
+        let Some(base) = base_speedups.and_then(|s| lookup(s, name)).and_then(as_f64) else {
+            eprintln!("baseline missing speedups.{name}");
+            violations += 1;
+            continue;
+        };
+        let floor = base * 0.75;
+        if fresh_value < floor {
+            eprintln!(
+                "REGRESSION speedups.{name}: fresh {fresh_value:.4} < {floor:.4} \
+                 (baseline {base:.4} - 25% tolerance)"
+            );
+            violations += 1;
+        } else {
+            println!("speedups.{name}: fresh {fresh_value:.4} vs baseline {base:.4} — ok");
+        }
+    }
+    let base_checks = lookup(&baseline, "checks");
+    for (name, fresh_value) in [
+        (
+            "conv2d_serial_parallel_bit_identical",
+            report.checks.conv2d_serial_parallel_bit_identical,
+        ),
+        (
+            "campaign_serial_parallel_bit_identical",
+            report.checks.campaign_serial_parallel_bit_identical,
+        ),
+    ] {
+        let base = matches!(
+            base_checks.and_then(|c| lookup(c, name)),
+            Some(Value::Bool(true))
+        );
+        if base && !fresh_value {
+            eprintln!("REGRESSION checks.{name}: flipped true -> false");
+            violations += 1;
+        }
+    }
+    violations
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+
     let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads_used = refocus_par::max_threads();
     let mut benches = Vec::new();
+
+    // The timed reps always run on the obs disabled fast path; the
+    // instrumented export pass happens after measurement.
+    assert!(!refocus_obs::recording());
 
     // FFT kernels.
     let complex_signal: Vec<Complex64> = (0..1024)
         .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
         .collect();
     let real_signal: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.13).sin()).collect();
-    benches.push(entry("fft_radix2_1024", 400, || {
-        let mut s = complex_signal.clone();
-        fft(&mut s);
-        s
-    }));
-    benches.push(entry("rfft_1024", 400, || rfft(&real_signal)));
+    // rfft vs fft is a speedup ratio, so the pair interleaves too.
+    let (fft_entry, rfft_entry) = pair_entries(
+        "fft_radix2_1024",
+        "rfft_1024",
+        400,
+        || {
+            let mut s = complex_signal.clone();
+            fft(&mut s);
+            s
+        },
+        || rfft(&real_signal),
+    );
+    let rfft_speedup = fft_entry.median_ns as f64 / rfft_entry.median_ns as f64;
+    benches.push(fft_entry);
+    benches.push(rfft_entry);
     let bluestein_signal: Vec<Complex64> = (0..1000)
         .map(|i| Complex64::new((i as f64 * 0.13).sin(), 0.0))
         .collect();
@@ -139,7 +359,7 @@ fn main() {
         jtc.correlate(&signal, &kernel).unwrap()
     }));
 
-    // Optical conv2d, serial vs parallel.
+    // Optical conv2d, serial vs parallel (interleaved).
     let input = Tensor3::random(3, 12, 12, 0.0, 1.0, 1);
     let weights = Tensor4::random(8, 3, 3, 3, -1.0, 1.0, 2);
     let conv = || {
@@ -147,35 +367,34 @@ fn main() {
             .conv2d(&input, &weights, 1, 1)
             .unwrap()
     };
-    let conv_serial = refocus_par::with_threads(1, || entry("optical_conv2d_serial", 30, conv));
-    let conv_parallel = entry("optical_conv2d_parallel", 30, conv);
+    let (conv_serial, conv_parallel) = pair_entries(
+        "optical_conv2d_serial",
+        "optical_conv2d_parallel",
+        30,
+        || refocus_par::with_threads(1, conv),
+        conv,
+    );
     let conv_speedup = conv_serial.median_ns as f64 / conv_parallel.median_ns as f64;
     let conv_identical = refocus_par::with_threads(1, conv).data()
         == refocus_par::with_threads(threads_used, conv).data();
     benches.push(conv_serial);
     benches.push(conv_parallel);
 
-    // Fault campaign grid, serial vs parallel.
+    // Fault campaign grid, serial vs parallel (interleaved).
     let grid = campaign();
     let run = || grid.run().unwrap();
-    let camp_serial = refocus_par::with_threads(1, || entry("fault_campaign_serial", 15, run));
-    let camp_parallel = entry("fault_campaign_parallel", 15, run);
+    let (camp_serial, camp_parallel) = pair_entries(
+        "fault_campaign_serial",
+        "fault_campaign_parallel",
+        15,
+        || refocus_par::with_threads(1, run),
+        run,
+    );
     let camp_speedup = camp_serial.median_ns as f64 / camp_parallel.median_ns as f64;
     let camp_identical =
         refocus_par::with_threads(1, run) == refocus_par::with_threads(threads_used, run);
     benches.push(camp_serial);
     benches.push(camp_parallel);
-
-    let rfft_speedup = benches
-        .iter()
-        .find(|b| b.name == "fft_radix2_1024")
-        .map(|b| b.median_ns)
-        .unwrap() as f64
-        / benches
-            .iter()
-            .find(|b| b.name == "rfft_1024")
-            .map(|b| b.median_ns)
-            .unwrap() as f64;
 
     let report = Report {
         schema: "refocus-bench-substrate/v1",
@@ -202,11 +421,49 @@ fn main() {
         "campaign serial/parallel results diverged"
     );
 
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json");
-    std::fs::write(path, json + "\n").expect("write BENCH_substrate.json");
+    // Instrumented export pass, after all timing is done.
+    if opts.trace.is_some() || opts.obs_json.is_some() {
+        let collector = refocus_obs::Collector::enabled();
+        std::hint::black_box(conv());
+        std::hint::black_box(run());
+        let obs_report = collector.finish();
+        if let Some(path) = &opts.trace {
+            obs_report
+                .write_chrome_trace(path)
+                .expect("write chrome trace");
+            println!("wrote chrome trace to {}", path.display());
+        }
+        if let Some(path) = &opts.obs_json {
+            obs_report.write_json(path).expect("write obs summary");
+            println!("wrote obs summary to {}", path.display());
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes") + "\n";
+    let out = match (&opts.out, opts.check) {
+        (Some(path), _) => Some(path.clone()),
+        (None, false) => Some(PathBuf::from(baseline_path())),
+        // --check without --out: compare only, leave the baseline alone.
+        (None, true) => None,
+    };
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write bench report");
+        println!("wrote {}", path.display());
+    }
     println!(
-        "wrote {path}: conv2d speedup {:.2}x, campaign speedup {:.2}x, rfft vs fft {:.2}x ({} thread(s))",
-        report.speedups.conv2d, report.speedups.campaign, report.speedups.rfft_vs_fft_1024, threads_used
+        "conv2d speedup {:.2}x, campaign speedup {:.2}x, rfft vs fft {:.2}x ({} thread(s))",
+        report.speedups.conv2d,
+        report.speedups.campaign,
+        report.speedups.rfft_vs_fft_1024,
+        threads_used
     );
+
+    if opts.check {
+        let violations = check_against_baseline(&report);
+        if violations > 0 {
+            eprintln!("bench-regression gate FAILED with {violations} violation(s)");
+            std::process::exit(1);
+        }
+        println!("bench-regression gate passed");
+    }
 }

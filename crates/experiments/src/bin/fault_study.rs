@@ -14,6 +14,12 @@
 //! the report is complete. `--resume` is the strict variant: the journal
 //! must already exist. Both produce reports bit-identical to a single
 //! uninterrupted run.
+//!
+//! `--trace <path>` records the run and writes a Chrome `trace_event`
+//! JSON (open in `chrome://tracing` or <https://ui.perfetto.dev>);
+//! `--obs-json <path>` writes the aggregate span/counter summary
+//! (DESIGN.md §10). With neither flag the obs layer stays on its
+//! disabled fast path and costs nothing.
 
 use refocus_experiments::fault_study;
 use refocus_experiments::render::Table;
@@ -22,17 +28,21 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use refocus_arch::campaign::RunBudget;
+use refocus_obs::Collector;
 
 struct Options {
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
     budget: RunBudget,
     json: bool,
+    trace: Option<PathBuf>,
+    obs_json: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: fault_study [--checkpoint <path> | --resume <path>] \
-     [--max-cells <n>] [--retries <n>] [--wall-clock-secs <n>] [--json]"
+     [--max-cells <n>] [--retries <n>] [--wall-clock-secs <n>] [--json] \
+     [--trace <path>] [--obs-json <path>]"
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -41,6 +51,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         resume: None,
         budget: RunBudget::default(),
         json: false,
+        trace: None,
+        obs_json: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -55,6 +67,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = true,
             "--checkpoint" => opts.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+            "--obs-json" => opts.obs_json = Some(PathBuf::from(value("--obs-json")?)),
             "--max-cells" => {
                 let n = value("--max-cells")?
                     .parse()
@@ -94,6 +108,8 @@ fn main() -> ExitCode {
         }
     };
 
+    let collector = Collector::new(opts.trace.is_some() || opts.obs_json.is_some());
+
     let campaign = fault_study::campaign();
     let result = if let Some(path) = &opts.resume {
         campaign.resume(path)
@@ -102,6 +118,21 @@ fn main() -> ExitCode {
     } else {
         campaign.run_budgeted(&opts.budget)
     };
+
+    let obs_report = collector.finish();
+    if let Some(path) = &opts.trace {
+        if let Err(e) = obs_report.write_chrome_trace(path) {
+            eprintln!("cannot write chrome trace to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.obs_json {
+        if let Err(e) = obs_report.write_json(path) {
+            eprintln!("cannot write obs summary to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
     let report = match result {
         Ok(report) => report,
         Err(e) => {

@@ -155,8 +155,7 @@ impl TilingPlan {
 
         let max_rows = tile / row_len;
         let rows_per_pass = max_rows.min(eff_h);
-        let kernel_chunks = kernel * kernel / MAX_ACTIVE_WEIGHT_TAPS
-            + usize::from(!(kernel * kernel).is_multiple_of(MAX_ACTIVE_WEIGHT_TAPS));
+        let kernel_chunks = (kernel * kernel).div_ceil(MAX_ACTIVE_WEIGHT_TAPS);
 
         if rows_per_pass < kernel {
             // Row partitioning: each output row needs k input rows streamed

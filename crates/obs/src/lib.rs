@@ -1,0 +1,858 @@
+//! Zero-dependency tracing + metrics for the ReFOCUS simulator.
+//!
+//! The simulator's claims are wall-clock and energy numbers; this crate is
+//! how a run explains *where* that wall-clock went. It follows the same
+//! philosophy as `refocus-par`: `std`-only, `#![forbid(unsafe_code)]`, and
+//! cheap enough to leave compiled into every hot path.
+//!
+//! # Model
+//!
+//! Instrumentation is **global and off by default**. A [`Collector`] is an
+//! RAII session handle: [`Collector::enabled`] turns recording on,
+//! [`Collector::finish`] turns it off and returns the merged [`Report`].
+//! While recording is off, every instrumentation call is a single relaxed
+//! atomic load and an untaken branch — unmeasurable next to an FFT pass
+//! (this is the [`Collector::disabled`] fast path; the disabled handle
+//! records nothing and finishes to an empty report).
+//!
+//! Three primitives feed the collector:
+//!
+//! - [`span`] / [`span_with`]: RAII wall-clock timing scopes. Each drop
+//!   records a per-name aggregate (count/total/min/max) and, up to a
+//!   per-thread cap, a chrome `trace_event` with nanosecond timestamps.
+//! - [`counter`]: named monotonically-summed integers (plan-cache hits,
+//!   optical passes, checkpoint bytes, retry counts, ...).
+//! - [`observe`]: named scalar distributions (count/sum/min/max).
+//!
+//! # Threads and the work-stealing pool
+//!
+//! Each thread buffers into a thread-local sink, so recording never
+//! contends on a shared lock in steady state. `refocus-par` spawns its
+//! workers as *scoped* threads that exit when the parallel region ends;
+//! a sink flushes itself into a global merge list when its thread exits,
+//! and the pool joins every worker handle explicitly before the region
+//! returns (`std::thread::scope` alone only waits for worker closures,
+//! not for thread-local destructors — rust-lang/rust#116237), so by the
+//! time the orchestrating thread calls [`Collector::finish`] all
+//! pool-side data has already been merged. Counters therefore sum
+//! deterministically at any thread count; only timestamps and thread ids
+//! vary between runs.
+//!
+//! Sessions are serialized: if a session is already active,
+//! [`Collector::enabled`] returns a disabled handle. Threads that record
+//! during a session but neither exit nor record again before `finish` is
+//! called cannot be reached from the finishing thread; their data is
+//! discarded when they next record or exit. In this workspace every
+//! recording thread is either the session's own thread or a scoped pool
+//! worker, so nothing is lost in practice.
+//!
+//! # Exporters
+//!
+//! [`Report::to_json`] renders an aggregate summary (per-span wall clock,
+//! call counts, counters, histograms). [`Report::to_chrome_trace`] renders
+//! the buffered events as a Chrome `trace_event` JSON array, loadable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. Both are hand-rolled
+//! writers so the crate stays honestly zero-dependency.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Per-thread cap on buffered chrome-trace events. Aggregates (span
+/// stats, counters, histograms) keep accumulating past the cap; only the
+/// per-event timeline stops growing, and the number of dropped events is
+/// reported in the summary so truncation is never silent.
+const MAX_EVENTS_PER_THREAD: usize = 1 << 18;
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Sink data is plain aggregates; a panic mid-update cannot make it
+    // unsound, so poisoning is ignored rather than propagated.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Process-wide monotonic time origin; all trace timestamps are offsets
+/// from this instant, so timestamps are monotone across threads and
+/// sessions.
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+fn merged() -> &'static Mutex<Vec<SinkData>> {
+    static MERGED: OnceLock<Mutex<Vec<SinkData>>> = OnceLock::new();
+    MERGED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct Session {
+    active: bool,
+    start: Option<Instant>,
+}
+
+fn session() -> &'static Mutex<Session> {
+    static SESSION: OnceLock<Mutex<Session>> = OnceLock::new();
+    SESSION.get_or_init(|| {
+        Mutex::new(Session {
+            active: false,
+            start: None,
+        })
+    })
+}
+
+/// `true` while a recording session is active.
+///
+/// Instrumented code may use this to skip work that only matters when
+/// recording (e.g. formatting a span label); [`span_with`] already defers
+/// its label closure behind this check.
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local sink
+// ---------------------------------------------------------------------------
+
+/// One buffered chrome-trace event (a completed span).
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Static span name (the aggregation key).
+    pub name: &'static str,
+    /// Optional per-instance label (rendered as a trace-event arg).
+    pub label: Option<Box<str>>,
+    /// Start offset from the process time origin, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Id of the recording thread (stable within one report).
+    pub tid: u32,
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock across all completions, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest completion, nanoseconds.
+    pub min_ns: u64,
+    /// Longest completion, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn record(&mut self, dur_ns: u64) {
+        self.count += 1;
+        self.total_ns += dur_ns;
+        self.min_ns = if self.count == 1 {
+            dur_ns
+        } else {
+            self.min_ns.min(dur_ns)
+        };
+        self.max_ns = self.max_ns.max(dur_ns);
+    }
+
+    fn merge(&mut self, other: &SpanStat) {
+        if other.count == 0 {
+            return;
+        }
+        self.min_ns = if self.count == 0 {
+            other.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Mean duration in nanoseconds (0 when no completions).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Aggregate statistics for one [`observe`]d scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ValueStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl ValueStat {
+    fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn merge(&mut self, other: &ValueStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+struct SinkData {
+    epoch: u64,
+    tid: u32,
+    events: Vec<Event>,
+    dropped: u64,
+    spans: BTreeMap<&'static str, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, ValueStat>,
+}
+
+impl SinkData {
+    fn fresh(epoch: u64) -> Self {
+        SinkData {
+            epoch,
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: Vec::new(),
+            dropped: 0,
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            values: BTreeMap::new(),
+        }
+    }
+}
+
+/// Holder whose `Drop` flushes the sink into the global merge list when
+/// the owning thread exits — this is what carries data out of the scoped
+/// worker threads `refocus-par` spawns per parallel region.
+struct LocalSlot(Option<SinkData>);
+
+impl Drop for LocalSlot {
+    fn drop(&mut self) {
+        if let Some(data) = self.0.take() {
+            lock(merged()).push(data);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalSlot> = const { RefCell::new(LocalSlot(None)) };
+}
+
+fn with_local<F: FnOnce(&mut SinkData)>(f: F) {
+    let epoch = EPOCH.load(Ordering::Acquire);
+    // try_with: recording from within another thread-local's destructor
+    // after LOCAL is gone is silently dropped instead of aborting.
+    let _ = LOCAL.try_with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let reset = match &slot.0 {
+            Some(d) => d.epoch != epoch,
+            None => true,
+        };
+        if reset {
+            if let Some(stale) = slot.0.take() {
+                lock(merged()).push(stale);
+            }
+            slot.0 = Some(SinkData::fresh(epoch));
+        }
+        f(slot.0.as_mut().expect("local sink just initialised"));
+    });
+}
+
+fn flush_current_thread() {
+    let _ = LOCAL.try_with(|slot| {
+        if let Some(data) = slot.borrow_mut().0.take() {
+            lock(merged()).push(data);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation primitives
+// ---------------------------------------------------------------------------
+
+/// RAII timing span; records its wall-clock on drop. Obtain via [`span`]
+/// or [`span_with`]. When no session is active this is an inert
+/// zero-field-sized-ish struct and drop does nothing.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records ~0ns"]
+pub struct Span {
+    armed: Option<(Instant, &'static str, Option<Box<str>>)>,
+}
+
+impl Span {
+    /// An inert span (what [`span`] returns while not recording).
+    pub fn disabled() -> Span {
+        Span { armed: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((start, name, label)) = self.armed.take() else {
+            return;
+        };
+        // The session may have ended mid-span; the event then belongs to
+        // no report and is discarded.
+        if !recording() {
+            return;
+        }
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let start_ns = start.duration_since(origin()).as_nanos() as u64;
+        with_local(|d| {
+            d.spans.entry(name).or_default().record(dur_ns);
+            if d.events.len() < MAX_EVENTS_PER_THREAD {
+                let tid = d.tid;
+                d.events.push(Event {
+                    name,
+                    label,
+                    start_ns,
+                    dur_ns,
+                    tid,
+                });
+            } else {
+                d.dropped += 1;
+            }
+        });
+    }
+}
+
+/// Opens a timing span named `name`. The returned guard records the
+/// scope's wall-clock when dropped. `name` is the aggregation key, so use
+/// a fixed taxonomy (`"jtc.lens1.fft"`, `"campaign.cell"`, ...).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !recording() {
+        return Span::disabled();
+    }
+    // origin() must be resolved before taking the start timestamp so the
+    // first-ever span does not observe a negative offset.
+    let _ = origin();
+    Span {
+        armed: Some((Instant::now(), name, None)),
+    }
+}
+
+/// Like [`span`], with a per-instance label rendered into the chrome
+/// trace (e.g. the cell's `severity`/`seed`). The label closure only runs
+/// while recording, so formatting costs nothing on the disabled path.
+#[inline]
+pub fn span_with<F>(name: &'static str, label: F) -> Span
+where
+    F: FnOnce() -> String,
+{
+    if !recording() {
+        return Span::disabled();
+    }
+    let _ = origin();
+    let label = label().into_boxed_str();
+    Span {
+        armed: Some((Instant::now(), name, Some(label))),
+    }
+}
+
+/// Adds `delta` to the named counter. Counters sum across all threads of
+/// the session and are deterministic at any thread count for
+/// deterministic workloads.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !recording() {
+        return;
+    }
+    with_local(|d| *d.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Records one observation of the named scalar distribution. Non-finite
+/// values are ignored (the exporters emit strict JSON, which has no
+/// NaN/Inf literals).
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if !recording() || !value.is_finite() {
+        return;
+    }
+    with_local(|d| d.values.entry(name).or_default().record(value));
+}
+
+// ---------------------------------------------------------------------------
+// Collector
+// ---------------------------------------------------------------------------
+
+/// RAII recording session.
+///
+/// [`Collector::enabled`] starts global recording; [`Collector::finish`]
+/// stops it and returns the merged [`Report`]. Dropping an active
+/// collector without finishing stops recording and discards the data.
+/// Only one session can be active at a time — a second concurrent
+/// `enabled()` returns a [`Collector::disabled`] handle.
+pub struct Collector {
+    active: bool,
+}
+
+impl Collector {
+    /// Starts a recording session. Returns a disabled handle if a session
+    /// is already active.
+    pub fn enabled() -> Collector {
+        let mut s = lock(session());
+        if s.active {
+            return Collector::disabled();
+        }
+        s.active = true;
+        s.start = Some(Instant::now());
+        let _ = origin();
+        EPOCH.fetch_add(1, Ordering::SeqCst);
+        RECORDING.store(true, Ordering::SeqCst);
+        Collector { active: true }
+    }
+
+    /// The no-op handle: records nothing, finishes to an empty report.
+    /// This is the fast path binaries take when no `--trace`/`--obs-json`
+    /// flag is given.
+    pub fn disabled() -> Collector {
+        Collector { active: false }
+    }
+
+    /// Convenience: enabled when `want` is true, disabled otherwise.
+    pub fn new(want: bool) -> Collector {
+        if want {
+            Collector::enabled()
+        } else {
+            Collector::disabled()
+        }
+    }
+
+    /// `true` when this handle owns an active recording session.
+    pub fn is_enabled(&self) -> bool {
+        self.active
+    }
+
+    /// Stops recording and returns the merged report. For a disabled
+    /// handle this returns an empty report.
+    pub fn finish(mut self) -> Report {
+        if !self.active {
+            return Report::empty(false);
+        }
+        self.active = false;
+        Self::end_session(true).unwrap_or_else(|| Report::empty(true))
+    }
+
+    /// Tears the session down. `collect` selects between merging a report
+    /// and discarding everything.
+    fn end_session(collect: bool) -> Option<Report> {
+        let mut s = lock(session());
+        RECORDING.store(false, Ordering::SeqCst);
+        flush_current_thread();
+        s.active = false;
+        let duration_ns = s
+            .start
+            .take()
+            .map(|t| t.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        let epoch = EPOCH.load(Ordering::SeqCst);
+        let sinks: Vec<SinkData> = lock(merged()).drain(..).collect();
+        if !collect {
+            return None;
+        }
+        let mut report = Report::empty(true);
+        report.duration_ns = duration_ns;
+        for sink in sinks.iter().filter(|d| d.epoch == epoch) {
+            report.threads += 1;
+            report.dropped_events += sink.dropped;
+            report.events.extend(sink.events.iter().cloned());
+            for (name, stat) in &sink.spans {
+                report.spans.entry(name).or_default().merge(stat);
+            }
+            for (name, v) in &sink.counters {
+                *report.counters.entry(name).or_insert(0) += v;
+            }
+            for (name, stat) in &sink.values {
+                report.values.entry(name).or_default().merge(stat);
+            }
+        }
+        // Chronological order (ties: thread id, then longest first so
+        // parents precede the children they enclose).
+        report
+            .events
+            .sort_by_key(|e| (e.start_ns, e.tid, std::cmp::Reverse(e.dur_ns)));
+        Some(report)
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        if self.active {
+            let _ = Collector::end_session(false);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report + exporters
+// ---------------------------------------------------------------------------
+
+/// The merged result of one recording session.
+#[derive(Debug, Clone)]
+pub struct Report {
+    enabled: bool,
+    duration_ns: u64,
+    threads: usize,
+    dropped_events: u64,
+    spans: BTreeMap<&'static str, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    values: BTreeMap<&'static str, ValueStat>,
+    events: Vec<Event>,
+}
+
+impl Report {
+    fn empty(enabled: bool) -> Report {
+        Report {
+            enabled,
+            duration_ns: 0,
+            threads: 0,
+            dropped_events: 0,
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            values: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// `true` when the report came from an enabled session.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.values.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// Session wall-clock, nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.duration_ns
+    }
+
+    /// Number of distinct threads that recorded during the session.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Chrome-trace events dropped to the per-thread buffer cap.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Value of the named counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Aggregate stats for the named span.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.get(name)
+    }
+
+    /// Aggregate stats for the named [`observe`]d scalar.
+    pub fn value(&self, name: &str) -> Option<&ValueStat> {
+        self.values.get(name)
+    }
+
+    /// All span aggregates, sorted by name.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, &SpanStat)> + '_ {
+        self.spans.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The buffered timeline events, chronologically sorted.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Renders the aggregate summary as JSON
+    /// (schema `refocus-obs-summary/v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"refocus-obs-summary/v1\",\n");
+        let _ = write!(
+            out,
+            "  \"enabled\": {},\n  \"duration_ns\": {},\n  \"threads\": {},\n  \"dropped_events\": {},\n",
+            self.enabled, self.duration_ns, self.threads, self.dropped_events
+        );
+        out.push_str("  \"spans\": [");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                escape_json(name),
+                s.count,
+                s.total_ns,
+                s.mean_ns(),
+                s.min_ns,
+                s.max_ns
+            );
+        }
+        out.push_str(if self.spans.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"counters\": [");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"value\": {}}}",
+                escape_json(name),
+                v
+            );
+        }
+        out.push_str(if self.counters.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"histograms\": [");
+        for (i, (name, s)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}}}",
+                escape_json(name),
+                s.count,
+                json_f64(s.sum),
+                json_f64(s.mean()),
+                json_f64(s.min),
+                json_f64(s.max)
+            );
+        }
+        out.push_str(if self.values.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the timeline as a Chrome `trace_event` JSON array
+    /// ("complete" `ph: "X"` events, microsecond timestamps). Open it at
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(64 + 128 * self.events.len());
+        out.push('[');
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"name\": \"{}\", \"cat\": \"refocus\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}",
+                escape_json(e.name),
+                micros(e.start_ns),
+                micros(e.dur_ns),
+                e.tid
+            );
+            if let Some(label) = &e.label {
+                let _ = write!(out, ", \"args\": {{\"label\": \"{}\"}}", escape_json(label));
+            }
+            out.push('}');
+        }
+        out.push_str(if self.events.is_empty() {
+            "]\n"
+        } else {
+            "\n]\n"
+        });
+        out
+    }
+
+    /// Writes [`Report::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes [`Report::to_chrome_trace`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+/// Nanoseconds → microseconds with fractional part, as a JSON number
+/// string (chrome traces use µs).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Finite f64 → shortest-round-trip JSON number (callers guarantee
+/// finiteness; [`observe`] rejects non-finite input).
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    let s = format!("{v}");
+    // `{}` prints integral floats without a dot; keep them JSON numbers
+    // either way (both forms are valid JSON), but normalise -0.
+    if s == "-0" {
+        "0".to_string()
+    } else {
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Obs state is process-global; unit tests that open sessions must not
+    // interleave. (Integration tests live in their own process.)
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        lock(GATE.get_or_init(|| Mutex::new(())))
+    }
+
+    #[test]
+    fn disabled_by_default_and_noop() {
+        let _g = serial();
+        assert!(!recording());
+        counter("unit.noop", 3);
+        observe("unit.noop.v", 1.0);
+        drop(span("unit.noop.span"));
+        let c = Collector::enabled();
+        let report = c.finish();
+        assert_eq!(report.counter("unit.noop"), 0);
+        assert!(report.span("unit.noop.span").is_none());
+    }
+
+    #[test]
+    fn span_and_counter_roundtrip() {
+        let _g = serial();
+        let c = Collector::enabled();
+        {
+            let _outer = span("unit.outer");
+            let _inner = span_with("unit.inner", || "label \"x\"\n".to_string());
+            counter("unit.hits", 2);
+            counter("unit.hits", 3);
+            observe("unit.obs", 1.5);
+            observe("unit.obs", 2.5);
+            observe("unit.obs", f64::NAN); // ignored
+        }
+        let report = c.finish();
+        assert!(report.enabled());
+        assert_eq!(report.counter("unit.hits"), 5);
+        assert_eq!(report.span("unit.outer").map(|s| s.count), Some(1));
+        assert_eq!(report.span("unit.inner").map(|s| s.count), Some(1));
+        let v = report.value("unit.obs").copied().expect("observed");
+        assert_eq!(v.count, 2);
+        assert_eq!(v.sum, 4.0);
+        assert_eq!((v.min, v.max), (1.5, 2.5));
+        // inner closed before outer, so outer's duration covers inner's
+        let outer = report.span("unit.outer").expect("outer stat");
+        let inner = report.span("unit.inner").expect("inner stat");
+        assert!(outer.total_ns >= inner.total_ns);
+        // Exporters render without panicking and escape the label.
+        assert!(report.to_json().contains("unit.hits"));
+        assert!(report.to_chrome_trace().contains("label \\\"x\\\"\\n"));
+    }
+
+    #[test]
+    fn concurrent_session_gets_disabled_handle() {
+        let _g = serial();
+        let first = Collector::enabled();
+        let second = Collector::enabled();
+        assert!(first.is_enabled());
+        assert!(!second.is_enabled());
+        assert!(second.finish().is_empty());
+        let _ = first.finish();
+    }
+
+    #[test]
+    fn dropped_collector_discards_session() {
+        let _g = serial();
+        {
+            let c = Collector::enabled();
+            counter("unit.discarded", 1);
+            drop(c);
+        }
+        assert!(!recording());
+        let c = Collector::enabled();
+        let report = c.finish();
+        assert_eq!(report.counter("unit.discarded"), 0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\n\u{1}"), "a\\\"b\\\\c\\n\\u0001");
+        assert_eq!(micros(1_234_567), "1234.567");
+        assert_eq!(json_f64(-0.0), "0");
+    }
+}

@@ -1,0 +1,176 @@
+//! Obs ↔ work-stealing-pool contract tests (ISSUE 4 satellite):
+//! span nesting recorded on `par_map` worker threads merges into one
+//! report, counters are deterministic at 1/2/8 threads, a disabled
+//! collector emits nothing, and the chrome-trace export is valid JSON
+//! with monotone timestamps.
+
+use refocus_obs::{counter, observe, span, span_with, Collector, Report};
+use serde_json::Value;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Obs state is process-global; tests that open sessions are serialized.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A parallel workload with nested spans: every item opens an outer span,
+/// an inner labelled span inside it, bumps counters, and observes a value.
+fn recorded_workload(threads: usize) -> Report {
+    let items: Vec<u64> = (0..24).collect();
+    let collector = Collector::enabled();
+    assert!(collector.is_enabled());
+    let sums = refocus_par::with_threads(threads, || {
+        refocus_par::par_map(&items, |&i| {
+            let _outer = span("test.outer");
+            let inner = span_with("test.inner", || format!("item={i}"));
+            counter("test.items", 1);
+            counter("test.weight", i);
+            observe("test.value", i as f64);
+            drop(inner);
+            i * 2
+        })
+    });
+    assert_eq!(sums.iter().sum::<u64>(), 24 * 23); // workload really ran
+    collector.finish()
+}
+
+#[test]
+fn nested_spans_merge_across_pool_threads() {
+    let _g = serial();
+    let report = recorded_workload(4);
+    // Every item's spans survived the death of the scoped worker threads.
+    let outer = report.span("test.outer").expect("outer spans recorded");
+    let inner = report.span("test.inner").expect("inner spans recorded");
+    assert_eq!(outer.count, 24);
+    assert_eq!(inner.count, 24);
+    // Nesting: the inner span closes inside the outer one, so the total
+    // outer wall-clock dominates the inner.
+    assert!(outer.total_ns >= inner.total_ns);
+    // The timeline kept every completion as an event.
+    assert_eq!(
+        report
+            .events()
+            .iter()
+            .filter(|e| e.name == "test.outer")
+            .count(),
+        24
+    );
+    assert_eq!(report.dropped_events(), 0);
+}
+
+#[test]
+fn counters_deterministic_at_1_2_8_threads() {
+    let _g = serial();
+    let mut summaries = Vec::new();
+    for threads in [1, 2, 8] {
+        let report = recorded_workload(threads);
+        summaries.push((
+            threads,
+            report.counter("test.items"),
+            report.counter("test.weight"),
+            report.span("test.outer").map(|s| s.count),
+            report.span("test.inner").map(|s| s.count),
+            report.value("test.value").map(|v| (v.count, v.sum)),
+        ));
+    }
+    for (threads, items, weight, outer, inner, value) in &summaries {
+        assert_eq!(*items, 24, "items at {threads} threads");
+        assert_eq!(*weight, (0..24).sum::<u64>(), "weight at {threads} threads");
+        assert_eq!(*outer, Some(24), "outer spans at {threads} threads");
+        assert_eq!(*inner, Some(24), "inner spans at {threads} threads");
+        assert_eq!(
+            *value,
+            Some((24, (0..24).sum::<u64>() as f64)),
+            "observations at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn disabled_collector_emits_nothing() {
+    let _g = serial();
+    let collector = Collector::disabled();
+    assert!(!collector.is_enabled());
+    // Instrumentation outside a session is a no-op...
+    let _s = span("test.ghost");
+    counter("test.ghost", 7);
+    let report = collector.finish();
+    assert!(!report.enabled());
+    assert!(report.is_empty());
+    assert_eq!(report.events().len(), 0);
+    assert_eq!(report.to_chrome_trace().trim(), "[]");
+    // ...and does not leak into a later enabled session.
+    let later = Collector::enabled().finish();
+    assert_eq!(later.counter("test.ghost"), 0);
+    assert!(later.span("test.ghost").is_none());
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_monotone_timestamps() {
+    let _g = serial();
+    let report = recorded_workload(2);
+    let trace = report.to_chrome_trace();
+    let value = serde_json::parse_value_str(&trace).expect("chrome trace parses as JSON");
+    let Value::Seq(events) = value else {
+        panic!("chrome trace must be a JSON array");
+    };
+    assert!(!events.is_empty());
+    let mut last_ts = f64::MIN;
+    let mut saw_label = false;
+    for event in &events {
+        let Value::Map(fields) = event else {
+            panic!("each trace event must be a JSON object");
+        };
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("event missing required key {k}"))
+        };
+        assert!(matches!(get("name"), Value::Str(_)));
+        assert_eq!(get("ph"), &Value::Str("X".to_string()));
+        let ts = match get("ts") {
+            Value::F64(v) => *v,
+            Value::U64(v) => *v as f64,
+            Value::I64(v) => *v as f64,
+            other => panic!("ts must be a number, got {other:?}"),
+        };
+        assert!(ts >= 0.0);
+        assert!(
+            ts >= last_ts,
+            "timestamps must be monotone: {ts} < {last_ts}"
+        );
+        last_ts = ts;
+        match get("dur") {
+            Value::F64(_) | Value::U64(_) | Value::I64(_) => {}
+            other => panic!("dur must be a number, got {other:?}"),
+        }
+        assert!(matches!(get("tid"), Value::U64(_) | Value::I64(_)));
+        if fields.iter().any(|(name, _)| name == "args") {
+            saw_label = true;
+        }
+    }
+    assert!(saw_label, "span_with labels must appear as args");
+    // The JSON summary parses too, and carries the aggregate counters.
+    let summary = serde_json::parse_value_str(&report.to_json()).expect("summary parses");
+    let Value::Map(top) = summary else {
+        panic!("summary must be a JSON object");
+    };
+    let counters = top
+        .iter()
+        .find(|(k, _)| k == "counters")
+        .map(|(_, v)| v)
+        .expect("summary has counters");
+    let Value::Seq(counters) = counters else {
+        panic!("counters must be an array");
+    };
+    assert!(counters.iter().any(|c| {
+        matches!(c, Value::Map(fields)
+            if fields.iter().any(|(k, v)| k == "name" && v == &Value::Str("test.items".into()))
+            && fields.iter().any(|(k, v)| k == "value" && v == &Value::U64(24)))
+    }));
+}

@@ -95,6 +95,21 @@ fn env_threads() -> Option<usize> {
     })
 }
 
+/// `available_parallelism()` resolved once per process. The raw call is
+/// far from free — on cgroup-capable Linux it re-reads cgroup quota
+/// files every time (~15µs measured) — and it used to run per parallel
+/// region, which alone cost a small-grid campaign ~10% of its wall-clock
+/// (the phantom "serial beats parallel" artifact diagnosed in
+/// DESIGN.md §10 via the obs layer).
+fn machine_threads() -> usize {
+    static MACHINE: OnceLock<usize> = OnceLock::new();
+    *MACHINE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 /// The worker-team size the next parallel region on this thread will use:
 /// the [`with_threads`] override if one is active, else `REFOCUS_THREADS`,
 /// else the machine's available parallelism. Always ≥ 1.
@@ -105,9 +120,7 @@ pub fn max_threads() -> usize {
     if let Some(n) = env_threads() {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    machine_threads()
 }
 
 /// Runs `f` with the team size pinned to `threads` (min 1) for every
@@ -296,10 +309,21 @@ where
     };
 
     std::thread::scope(|s| {
-        for w in 1..threads {
-            s.spawn(move || worker(w));
-        }
+        let handles: Vec<_> = (1..threads).map(|w| s.spawn(move || worker(w))).collect();
         worker(0);
+        // Join each worker explicitly: `scope` by itself only waits for
+        // the worker *closures* to return, not for the OS threads to
+        // terminate (rust-lang/rust#116237), so thread-local destructors
+        // — e.g. the refocus-obs sink flush — could still be running
+        // when the region "ends". `join` waits for full thread
+        // termination, destructors included.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                // A worker closure itself panicked (task panics are
+                // already caught above); re-raise like `scope` would.
+                resume_unwind(payload);
+            }
+        }
     });
 
     if let Some(payload) = first_panic.into_inner().expect("panic slot poisoned") {

@@ -188,11 +188,20 @@ thread_local! {
 fn with_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
     debug_assert!(n.is_power_of_two() && n >= 2);
     let plan = PLAN_CACHE.with(|cache| {
-        cache
-            .borrow_mut()
-            .entry(n)
-            .or_insert_with(|| std::rc::Rc::new(FftPlan::new(n)))
-            .clone()
+        let mut cache = cache.borrow_mut();
+        if let Some(plan) = cache.get(&n) {
+            refocus_obs::counter("fft.plan_cache.hit", 1);
+            plan.clone()
+        } else {
+            // Plan caches are thread-local, so every freshly spawned pool
+            // worker starts cold; the miss counter is how a trace shows
+            // that cost (DESIGN.md §10).
+            refocus_obs::counter("fft.plan_cache.miss", 1);
+            cache
+                .entry(n)
+                .or_insert_with(|| std::rc::Rc::new(FftPlan::new(n)))
+                .clone()
+        }
     });
     f(&plan)
 }
@@ -248,11 +257,18 @@ impl BluesteinPlan {
 fn bluestein(x: &mut [Complex64], dir: Direction) {
     let n = x.len();
     let plan = BLUESTEIN_CACHE.with(|cache| {
-        cache
-            .borrow_mut()
-            .entry((n, dir == Direction::Forward))
-            .or_insert_with(|| std::rc::Rc::new(BluesteinPlan::new(n, dir)))
-            .clone()
+        let mut cache = cache.borrow_mut();
+        let key = (n, dir == Direction::Forward);
+        if let Some(plan) = cache.get(&key) {
+            refocus_obs::counter("fft.bluestein_cache.hit", 1);
+            plan.clone()
+        } else {
+            refocus_obs::counter("fft.bluestein_cache.miss", 1);
+            cache
+                .entry(key)
+                .or_insert_with(|| std::rc::Rc::new(BluesteinPlan::new(n, dir)))
+                .clone()
+        }
     });
     let m = plan.m;
 

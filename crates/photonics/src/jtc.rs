@@ -13,7 +13,7 @@
 //! The output plane (paper Eq. 1) contains the two cross-correlation terms
 //! at `±(x_s + x_k)` plus a central non-convolution term `N(x)` that is
 //! spatially filtered out. This module simulates the full field pipeline
-//! with [`Complex64`] arrays and extracts the correlation term, optionally
+//! with [`Complex64`](crate::complex::Complex64) arrays and extracts the correlation term, optionally
 //! passing inputs/outputs through the 8-bit DAC/ADC models so end-to-end
 //! numerics include quantization.
 //!
@@ -158,6 +158,8 @@ impl Jtc {
     /// Returns [`JtcError`] if an input is empty or negative, or if a fixed
     /// plane size cannot hold the inputs with adequate term separation.
     pub fn correlate(&self, signal: &[f64], kernel: &[f64]) -> Result<JtcOutput, JtcError> {
+        let _pass = refocus_obs::span("jtc.correlate");
+        refocus_obs::counter("jtc.passes", 1);
         if signal.is_empty() || kernel.is_empty() {
             return Err(JtcError::EmptyInput);
         }
@@ -208,29 +210,43 @@ impl Jtc {
             }
         };
 
-        let mut input_plane = vec![0.0_f64; n];
-        for (i, &v) in kernel.iter().enumerate() {
-            input_plane[i] = encode(v);
-        }
-        for (i, &v) in signal.iter().enumerate() {
-            input_plane[sep + i] = encode(v);
-        }
+        let input_plane = {
+            let _s = refocus_obs::span("jtc.compose");
+            let mut input_plane = vec![0.0_f64; n];
+            for (i, &v) in kernel.iter().enumerate() {
+                input_plane[i] = encode(v);
+            }
+            for (i, &v) in signal.iter().enumerate() {
+                input_plane[sep + i] = encode(v);
+            }
+            input_plane
+        };
 
         // Stage 2: first lens. The input plane carries optical power — a
         // real field — so the half-length real-input transform applies.
-        let mut spectrum = rfft(&input_plane);
+        let mut spectrum = {
+            let _s = refocus_obs::span("jtc.lens1.fft");
+            rfft(&input_plane)
+        };
         // Stage 3: Fourier-plane square-law nonlinearity. Its output is an
         // intensity, i.e. real (`NonlinearMaterial::apply_point` discards
         // phase), which makes the second lens real-input too.
-        self.nonlinearity.apply(&mut spectrum);
-        let intensity: Vec<f64> = spectrum.iter().map(|v| v.re).collect();
+        let intensity: Vec<f64> = {
+            let _s = refocus_obs::span("jtc.square_law");
+            self.nonlinearity.apply(&mut spectrum);
+            spectrum.iter().map(|v| v.re).collect()
+        };
         // Stage 4: second lens. The inverse orientation recovers the
         // autocorrelation theorem directly: IFFT(|FFT(f)|^2) = autocorr(f).
-        let plane = ifft_real(&intensity);
+        let plane = {
+            let _s = refocus_obs::span("jtc.lens2.ifft");
+            ifft_real(&intensity)
+        };
 
         // Stage 5: photodetector readout of the cross term at +sep.
         // For non-negative inputs the term is real and non-negative;
         // detection reads its magnitude.
+        let _s = refocus_obs::span("jtc.readout");
         let full_len = ls + lk - 1;
         let mut full = Vec::with_capacity(full_len);
         for lag in -(lk as isize - 1)..=(ls as isize - 1) {
