@@ -697,6 +697,17 @@ impl FaultCampaign {
             })
             .collect();
 
+        if refocus_obs::recording() {
+            for &severity in &self.severities {
+                crate::attribution::record_campaign_severity(
+                    severity,
+                    cells.iter().filter(|c| c.severity == severity).count() as u64,
+                    failed.iter().filter(|f| f.severity == severity).count() as u64,
+                    skipped.iter().filter(|s| s.severity == severity).count() as u64,
+                );
+            }
+        }
+
         Ok(CampaignReport {
             config_name: self.config.name.clone(),
             spec: self.spec,

@@ -284,11 +284,16 @@ fn sweep_impl(
             failed,
         });
     };
+    let variant_label = match variant {
+        Variant::FeedForward => "FF",
+        Variant::FeedBack => "FB",
+    };
+    let recording = refocus_obs::recording();
     let mut rows = Vec::with_capacity(per_m.len());
     for (m, n, fps_w, fps_mm2) in per_m {
         let rel_w = geomean_ratio(&fps_w, &base_w);
         let rel_mm2 = geomean_ratio(&fps_mm2, &base_mm2);
-        rows.push(DseRow {
+        let row = DseRow {
             delay_cycles: m,
             rfcus: n,
             relative_fps_per_watt: rel_w,
@@ -296,7 +301,11 @@ fn sweep_impl(
             relative_pap: rel_w * rel_mm2,
             fps_per_watt: crate::metrics::geomean(&fps_w),
             fps_per_mm2: crate::metrics::geomean(&fps_mm2),
-        });
+        };
+        if recording {
+            crate::attribution::record_dse_row(variant_label, &row);
+        }
+        rows.push(row);
     }
     Ok(SweepReport { rows, failed })
 }

@@ -22,6 +22,7 @@ use crate::perf::{LayerPerf, NetworkPerf};
 use crate::rfcu::ComponentCounts;
 use refocus_memsim::buffers::{BufferParams, DataBuffers, DataflowCase};
 use refocus_memsim::dram::Dram;
+use refocus_memsim::hierarchy::Traffic;
 use refocus_memsim::sram::{Sram, KIB, MIB};
 use refocus_nn::layer::{ConvSpec, Network};
 use refocus_photonics::components::{Adc, Dac, Laser, Mrr};
@@ -176,6 +177,7 @@ pub struct EnergyModel {
     adc_energy_per_conversion: f64,
     mrr_energy_per_cycle: f64,
     laser_power: Watts,
+    laser_compensation_power: Watts,
     activation_sram: Sram,
     weight_sram: Sram,
     buffers: Option<DataBuffers>,
@@ -216,11 +218,23 @@ impl EnergyModel {
 
         // Laser: per-source-waveguide minimum power; inputs additionally
         // compensated for buffer losses (Table 5 / Eq. 4).
-        let min = Laser::new().min_power().to_watts().value();
+        let laser = Laser::new();
+        let min = laser.min_power().to_watts().value();
         let input_sources = (config.tile * config.wavelengths) as f64;
         let weight_sources = (config.weight_waveguides * config.wavelengths * config.rfcus) as f64;
         let laser_power = Watts::new(
             min * (input_sources * config.laser_overhead() + weight_sources)
+                * options.laser_fault_margin,
+        );
+        // The share of that emission spent purely on compensating the
+        // optical buffer's losses (zero without a buffer) — booked in the
+        // attribution ledger as the buffer's laser overhead.
+        let laser_compensation_power = Watts::new(
+            laser
+                .compensation_power(config.laser_overhead())
+                .to_watts()
+                .value()
+                * input_sources
                 * options.laser_fault_margin,
         );
 
@@ -251,6 +265,7 @@ impl EnergyModel {
             adc_energy_per_conversion,
             mrr_energy_per_cycle,
             laser_power,
+            laser_compensation_power,
             activation_sram,
             weight_sram,
             buffers,
@@ -269,8 +284,25 @@ impl EnergyModel {
         self.laser_power
     }
 
+    /// The share of [`EnergyModel::laser_power`] spent purely on
+    /// compensating optical-buffer losses (zero without a buffer).
+    pub fn laser_compensation_power(&self) -> Watts {
+        self.laser_compensation_power
+    }
+
     /// Energy of one layer given its performance analysis.
     pub fn layer_energy(&self, layer: &ConvSpec, perf: &LayerPerf) -> EnergyBreakdown {
+        self.layer_accounting(layer, perf).0
+    }
+
+    /// Energy of one layer plus the dataflow [`Traffic`] it was charged
+    /// for — one pass over the models, so attribution never recomputes
+    /// (or risks diverging from) the energies it records.
+    pub fn layer_accounting(
+        &self,
+        layer: &ConvSpec,
+        perf: &LayerPerf,
+    ) -> (EnergyBreakdown, Traffic) {
         let cfg = &self.config;
         let time = perf.duration(cfg).value();
         let cycles = perf.cycles as f64;
@@ -336,22 +368,31 @@ impl EnergyModel {
         // --- DRAM (optional): weights streamed once per pass. ---
         let dram = self.dram.read_energy_joules(traffic.dram);
 
-        EnergyBreakdown {
-            input_dac,
-            weight_dac,
-            adc,
-            mrr,
-            laser,
-            activation_sram,
-            weight_sram,
-            data_buffers,
-            cmos,
-            leakage,
-            dram,
-        }
+        (
+            EnergyBreakdown {
+                input_dac,
+                weight_dac,
+                adc,
+                mrr,
+                laser,
+                activation_sram,
+                weight_sram,
+                data_buffers,
+                cmos,
+                leakage,
+                dram,
+            },
+            traffic,
+        )
     }
 
     /// Energy of a whole network given its performance analysis.
+    ///
+    /// When a `refocus-obs` collector session is active, every layer's
+    /// component energies, memory traffic, and buffer loss-compensation
+    /// laser energy are additionally recorded into the attribution
+    /// ledger ([`crate::attribution`]); the returned total is computed
+    /// identically either way.
     ///
     /// # Panics
     ///
@@ -363,9 +404,24 @@ impl EnergyModel {
             perf.layers.len(),
             "perf/network mismatch"
         );
+        let recording = refocus_obs::recording();
         let mut total = EnergyBreakdown::default();
-        for (layer, lp) in network.layers().iter().zip(&perf.layers) {
-            total = total.merged(&self.layer_energy(layer, lp));
+        for (idx, (layer, lp)) in network.layers().iter().zip(&perf.layers).enumerate() {
+            let (energy, traffic) = self.layer_accounting(layer, lp);
+            if recording {
+                let compensation = self
+                    .laser_compensation_power
+                    .for_duration(lp.duration(&self.config));
+                crate::attribution::record_layer_energy(
+                    &self.config.name,
+                    network,
+                    idx,
+                    &energy,
+                    &traffic,
+                    compensation.value(),
+                );
+            }
+            total = total.merged(&energy);
         }
         total
     }

@@ -24,6 +24,9 @@
 //!   [`error::SimError::NonFinite`]).
 //! * [`checkpoint`] — crash-safe JSON-lines journals for resumable
 //!   campaign and DSE runs.
+//! * [`attribution`] — per-layer × per-component telemetry ledger
+//!   (joules / cycles / bytes) recorded into `refocus-obs`, plus the
+//!   shared breakdown math the experiments render.
 //!
 //! ```
 //! use refocus_arch::config::AcceleratorConfig;
@@ -40,6 +43,7 @@
 
 pub mod ablation;
 pub mod area;
+pub mod attribution;
 pub mod baselines;
 pub mod campaign;
 pub mod checkpoint;

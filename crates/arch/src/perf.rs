@@ -136,10 +136,14 @@ impl NetworkPerf {
         config: &AcceleratorConfig,
     ) -> Result<Self, TilingError> {
         let _perf = refocus_obs::span_with("perf.network_analyze", || network.name().to_string());
+        let recording = refocus_obs::recording();
         let mut layers = Vec::with_capacity(network.layers().len());
         let mut total_cycles = 0u64;
-        for layer in network.layers() {
+        for (idx, layer) in network.layers().iter().enumerate() {
             let perf = LayerPerf::analyze(layer, config)?;
+            if recording {
+                crate::attribution::record_layer_cycles(&config.name, network, idx, &perf);
+            }
             total_cycles += perf.cycles;
             layers.push(perf);
         }

@@ -168,6 +168,10 @@ pub fn simulate_with_options(
             metrics.energy_j,
         ],
     )?;
+    if refocus_obs::recording() {
+        crate::attribution::record_area(&config.name, &area);
+        crate::attribution::record_metrics(&config.name, network.name(), &metrics);
+    }
     Ok(Report {
         config_name: config.name.clone(),
         network_name: network.name().to_string(),

@@ -1,0 +1,183 @@
+//! Conservation contract of the attribution ledger (DESIGN.md §11).
+//!
+//! The per-layer × per-component cells recorded through
+//! [`refocus_arch::attribution`] are an exact decomposition, not an
+//! approximation: summed back in the documented replay order they must
+//! reproduce [`EnergyBreakdown::total`] and the total cycle count
+//! *bit-for-bit*, at every thread count, for every evaluated network —
+//! and a disabled collector must record no ledger state at all.
+
+use refocus_arch::attribution::{
+    ledger_cycles_total, ledger_energy_total, ledger_sum_u64, row_prefix, ENERGY_COMPONENTS,
+    ENERGY_FAMILY, LASER_FAMILY, MEMORY_FAMILY, METRICS_FAMILY,
+};
+use refocus_arch::config::AcceleratorConfig;
+use refocus_arch::energy::{EnergyModel, EnergyOptions};
+use refocus_arch::perf::NetworkPerf;
+use refocus_arch::simulator::{simulate, simulate_suite};
+use refocus_memsim::hierarchy::Level;
+use refocus_nn::models;
+use std::sync::{Mutex, MutexGuard};
+
+/// The obs sinks are process-global, so tests that record must not
+/// overlap. Everything in this file funnels through this gate.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Sums `LASER_FAMILY` compensation cells under `prefix`.
+fn laser_compensation_sum(report: &refocus_obs::Report, prefix: &str) -> f64 {
+    report
+        .ledger_cells()
+        .filter(|(f, row, c, _)| {
+            *f == LASER_FAMILY && *c == "loss_compensation" && row.starts_with(prefix)
+        })
+        .map(|(_, _, _, v)| v.as_f64())
+        .sum()
+}
+
+/// Energy and cycle cells sum back to the model's totals bit-exactly for
+/// every network the paper evaluates, and the memory family reproduces
+/// the per-level traffic byte counts.
+#[test]
+fn ledger_conserves_energy_cycles_and_bytes_for_all_networks() {
+    let _gate = serial();
+    let config = AcceleratorConfig::refocus_fb();
+
+    for network in models::evaluation_suite() {
+        let collector = refocus_obs::Collector::enabled();
+        let report = simulate(&network, &config).expect("simulation succeeds");
+        let obs = collector.finish();
+        let prefix = row_prefix(&config.name, network.name());
+
+        // Energy: replaying the component-major fold must land on the
+        // exact same f64 as `EnergyBreakdown::total()` — same additions,
+        // same order, so bit equality, not an epsilon.
+        let ledger_j =
+            ledger_energy_total(&obs, &config.name, network.name()).expect("energy cells recorded");
+        assert_eq!(
+            ledger_j.to_bits(),
+            report.energy.total().value().to_bits(),
+            "{}: ledger energy {ledger_j} != model total {}",
+            network.name(),
+            report.energy.total().value()
+        );
+
+        // Cycles are u64 sums — exact in any order; equality here pins
+        // `NetworkPerf::latency()` too, since latency is a pure function
+        // of the total cycle count.
+        let ledger_cycles =
+            ledger_cycles_total(&obs, &config.name, network.name()).expect("cycle cells recorded");
+        assert_eq!(
+            ledger_cycles,
+            report.perf.total_cycles,
+            "{}",
+            network.name()
+        );
+
+        // Memory bytes: each hierarchy level's ledger sum equals a
+        // serial replay of the per-layer traffic accounting.
+        let model = EnergyModel::with_options(&config, EnergyOptions::default());
+        let perf = NetworkPerf::analyze(&network, &config).expect("perf analyzes");
+        for level in Level::ALL {
+            let expected: u64 = network
+                .layers()
+                .iter()
+                .zip(&perf.layers)
+                .map(|(layer, lp)| model.layer_accounting(layer, lp).1.bytes(level))
+                .sum();
+            let booked = ledger_sum_u64(&obs, MEMORY_FAMILY, &prefix, level.id())
+                .expect("memory cells recorded");
+            assert_eq!(booked, expected, "{}: {level}", network.name());
+        }
+
+        // The derived laser-compensation family is bounded by the laser
+        // component it is carved out of (FB buffers always lose light,
+        // so it is strictly positive here).
+        let compensation = laser_compensation_sum(&obs, &prefix);
+        assert!(compensation > 0.0, "{}: no compensation", network.name());
+        assert!(
+            compensation <= report.energy.laser.value(),
+            "{}: compensation {compensation} exceeds laser {}",
+            network.name(),
+            report.energy.laser.value()
+        );
+
+        // Every component of the taxonomy produced at least one cell
+        // per layer, and the per-run gauges landed.
+        for (id, _) in ENERGY_COMPONENTS {
+            let cells = obs
+                .ledger_cells()
+                .filter(|(f, row, c, _)| {
+                    *f == ENERGY_FAMILY && *c == id && row.starts_with(&prefix)
+                })
+                .count();
+            assert_eq!(cells, network.layers().len(), "{}: {id}", network.name());
+        }
+        let metrics_row = format!("{}/{}", config.name, network.name());
+        let fps = obs
+            .ledger_value(METRICS_FAMILY, &metrics_row, "fps")
+            .expect("fps gauge recorded");
+        assert_eq!(fps.as_f64(), report.metrics.fps);
+    }
+}
+
+/// The ledger is deterministic across thread counts: the full sorted
+/// cell list from a suite run is identical (bit-for-bit for f64 sums)
+/// at 1, 2, and 8 threads, and conservation holds at each.
+#[test]
+fn ledger_is_invariant_across_thread_counts() {
+    let _gate = serial();
+    let config = AcceleratorConfig::refocus_fb();
+    let suite = models::evaluation_suite();
+
+    let observe = |threads: usize| {
+        refocus_par::with_threads(threads, || {
+            let collector = refocus_obs::Collector::enabled();
+            let report = simulate_suite(&suite, &config).expect("suite completes");
+            let obs = collector.finish();
+            for r in &report.reports {
+                let ledger_j = ledger_energy_total(&obs, &r.config_name, &r.network_name)
+                    .expect("energy cells recorded");
+                assert_eq!(
+                    ledger_j.to_bits(),
+                    r.energy.total().value().to_bits(),
+                    "{threads} threads, {}: conservation broke",
+                    r.network_name
+                );
+            }
+            obs.ledger_cells()
+                .map(|(f, row, c, v)| (f.to_string(), row.to_string(), c.to_string(), v))
+                .collect::<Vec<_>>()
+        })
+    };
+
+    let reference = observe(1);
+    assert!(!reference.is_empty());
+    for threads in [2, 8] {
+        assert_eq!(
+            observe(threads),
+            reference,
+            "{threads}-thread ledger diverged from serial"
+        );
+    }
+}
+
+/// Without an active collector the recording helpers are inert: a full
+/// simulation leaves no ledger cells, samples, or drop counts behind.
+#[test]
+fn disabled_collector_records_no_ledger() {
+    let _gate = serial();
+    assert!(!refocus_obs::recording());
+    let config = AcceleratorConfig::refocus_fb();
+    simulate(&models::alexnet(), &config).expect("simulation succeeds");
+
+    let collector = refocus_obs::Collector::enabled();
+    let obs = collector.finish();
+    assert!(obs.is_empty(), "uncollected run must leave no ledger");
+    assert_eq!(obs.ledger_cells().count(), 0);
+    assert!(obs.ledger_samples().is_empty());
+    assert_eq!(obs.dropped_ledger_samples(), 0);
+    assert!(!obs.to_json().contains("\"cells\": [{"));
+}

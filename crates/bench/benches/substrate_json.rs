@@ -35,6 +35,10 @@
 //!   `refocus_obs::Collector` and export the chrome trace / summary.
 //!   The timed reps themselves always run with obs disabled, so these
 //!   flags never perturb the numbers being written or checked.
+//! - `--history <path>`: override the rolling history log (default: the
+//!   repo-root `BENCH_history.jsonl`). Every run — including `--check`
+//!   runs — appends one timestamped JSON line with the headline speedup
+//!   ratios and bit-identity checks, so CI artifacts accumulate a trend.
 
 use refocus_arch::campaign::{FaultCampaign, Workload};
 use refocus_arch::config::AcceleratorConfig;
@@ -83,6 +87,36 @@ struct Report {
     checks: Checks,
     speedups: Speedups,
     benches: Vec<BenchEntry>,
+}
+
+/// One rolling-log line for `BENCH_history.jsonl`: the headline ratios
+/// plus a timestamp, so successive CI runs accumulate a trend the
+/// artifacts upload preserves (the full `benches` array stays out —
+/// machine-specific absolutes don't trend across runners).
+fn history_line(report: &Report, check_mode: bool, unix_time_s: u64) -> String {
+    // `to_string` lowers through `Serialize::to_value`, so a transparent
+    // wrapper lets a hand-built `Value` tree reuse the JSON writer.
+    struct Raw(Value);
+    impl Serialize for Raw {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    let entry = Value::Map(vec![
+        (
+            "schema".into(),
+            Value::Str("refocus-bench-history/v1".into()),
+        ),
+        ("unix_time_s".into(), Value::U64(unix_time_s)),
+        ("check_mode".into(), Value::Bool(check_mode)),
+        (
+            "threads_used".into(),
+            Value::U64(report.threads_used as u64),
+        ),
+        ("checks".into(), serde_json::to_value(&report.checks)),
+        ("speedups".into(), serde_json::to_value(&report.speedups)),
+    ]);
+    serde_json::to_string(&Raw(entry)).expect("history entry serializes") + "\n"
 }
 
 fn stats(mut samples: Vec<u64>) -> (u64, u64) {
@@ -189,6 +223,7 @@ struct Options {
     out: Option<PathBuf>,
     trace: Option<PathBuf>,
     obs_json: Option<PathBuf>,
+    history: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Options {
@@ -197,6 +232,7 @@ fn parse_args(args: &[String]) -> Options {
         out: None,
         trace: None,
         obs_json: None,
+        history: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -212,11 +248,12 @@ fn parse_args(args: &[String]) -> Options {
             "--out" => opts.out = Some(value(&mut i)),
             "--trace" => opts.trace = Some(value(&mut i)),
             "--obs-json" => opts.obs_json = Some(value(&mut i)),
+            "--history" => opts.history = Some(value(&mut i)),
             // `cargo bench` forwards harness flags like `--bench`.
             "--bench" => {}
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: substrate_json [--check] [--out <path>] [--trace <path>] [--obs-json <path>]");
+                eprintln!("usage: substrate_json [--check] [--out <path>] [--trace <path>] [--obs-json <path>] [--history <path>]");
                 std::process::exit(2);
             }
         }
@@ -227,6 +264,30 @@ fn parse_args(args: &[String]) -> Options {
 
 fn baseline_path() -> &'static str {
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json")
+}
+
+fn history_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl")
+}
+
+/// Appends one timestamped line to the rolling history log. Best-effort:
+/// a failure warns but never fails the bench (the log is telemetry, not
+/// a gate).
+fn append_history(report: &Report, check_mode: bool, path: &std::path::Path) {
+    use std::io::Write;
+    let unix_time_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = history_line(report, check_mode, unix_time_s);
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    match appended {
+        Ok(()) => println!("appended history entry to {}", path.display()),
+        Err(e) => eprintln!("cannot append history to {}: {e}", path.display()),
+    }
 }
 
 fn lookup<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
@@ -450,6 +511,11 @@ fn main() {
         std::fs::write(&path, &json).expect("write bench report");
         println!("wrote {}", path.display());
     }
+    let history = opts
+        .history
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(history_path()));
+    append_history(&report, opts.check, &history);
     println!(
         "conv2d speedup {:.2}x, campaign speedup {:.2}x, rfft vs fft {:.2}x ({} thread(s))",
         report.speedups.conv2d,

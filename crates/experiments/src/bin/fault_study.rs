@@ -18,8 +18,11 @@
 //! `--trace <path>` records the run and writes a Chrome `trace_event`
 //! JSON (open in `chrome://tracing` or <https://ui.perfetto.dev>);
 //! `--obs-json <path>` writes the aggregate span/counter summary
-//! (DESIGN.md §10). With neither flag the obs layer stays on its
-//! disabled fast path and costs nothing.
+//! (DESIGN.md §10). Either flag also folds one analytical suite pass
+//! into the session so the artifacts carry the attribution-ledger
+//! breakdown (DESIGN.md §11) that `obs-report` renders and diffs. With
+//! neither flag the obs layer stays on its disabled fast path and
+//! costs nothing.
 
 use refocus_experiments::fault_study;
 use refocus_experiments::render::Table;
@@ -108,7 +111,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let collector = Collector::new(opts.trace.is_some() || opts.obs_json.is_some());
+    let observed = opts.trace.is_some() || opts.obs_json.is_some();
+    let collector = Collector::new(observed);
+    if observed {
+        // The campaign exercises only the functional optical path, which
+        // has no energy model. Fold in one analytical suite pass so the
+        // exported trace and summary also carry the attribution-ledger
+        // families (energy / cycles / bytes) that `obs-report` renders.
+        if let Err(e) = refocus_arch::simulator::simulate_suite(
+            &refocus_nn::models::evaluation_suite(),
+            &refocus_arch::config::AcceleratorConfig::refocus_fb(),
+        ) {
+            eprintln!("attribution suite pass failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let campaign = fault_study::campaign();
     let result = if let Some(path) = &opts.resume {

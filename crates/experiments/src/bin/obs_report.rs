@@ -1,0 +1,61 @@
+//! Renders and diffs `refocus-obs` summary JSON breakdowns.
+//!
+//! ```text
+//! obs-report render run.json
+//! obs-report diff base.json new.json [--threshold 0.02]
+//! ```
+//!
+//! `render` prints one pivot table per attribution-ledger family
+//! (per-layer rows × paper-taxonomy components) plus the exported
+//! scalar percentiles. `diff` compares the deterministic ledger cells
+//! of two runs and exits non-zero when any cell's relative delta
+//! exceeds the threshold (default 0: bit-exact) or the cell sets
+//! differ structurally. Schema-invalid input always exits non-zero.
+
+use refocus_experiments::obs_report;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: obs-report render <summary.json>\n       obs-report diff <base.json> <new.json> [--threshold <frac>]"
+}
+
+fn load(path: &str) -> Result<obs_report::Summary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    obs_report::parse_summary(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    match args {
+        [cmd, path] if cmd == "render" => {
+            print!("{}", obs_report::render(&load(path)?));
+            Ok(true)
+        }
+        [cmd, base, new, rest @ ..] if cmd == "diff" => {
+            let threshold = match rest {
+                [] => 0.0,
+                [flag, value] if flag == "--threshold" => value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t >= 0.0 && t.is_finite())
+                    .ok_or_else(|| format!("--threshold: not a non-negative number: {value}"))?,
+                _ => return Err(usage().into()),
+            };
+            let report = obs_report::diff(&load(base)?, &load(new)?);
+            print!("{}", obs_report::render_diff(&report, threshold));
+            Ok(report.is_clean(threshold))
+        }
+        _ => Err(usage().into()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

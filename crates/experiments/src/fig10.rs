@@ -3,6 +3,7 @@
 //! variants, plus the §6.2 converter-power claim.
 
 use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::attribution::converter_power_w;
 use refocus_arch::config::{AcceleratorConfig, OpticalBufferKind};
 use refocus_arch::simulator::simulate;
 use refocus_nn::models;
@@ -26,7 +27,7 @@ fn run_cfg(label: &str, cfg: &AcceleratorConfig) -> Step {
     Step {
         label: label.into(),
         fps_per_watt: r.metrics.fps_per_watt(),
-        converter_power_w: r.energy.converters().value() / r.metrics.latency_s,
+        converter_power_w: converter_power_w(&r),
         fps: r.metrics.fps,
     }
 }

@@ -4,34 +4,14 @@
 //! Headline claims reproduced: ~2× FPS, ~2.2× FPS/W (FB), ~1.36× FPS/mm².
 
 use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::attribution::{relative_suite_metrics, RelativeMetrics};
 use refocus_arch::config::AcceleratorConfig;
-use refocus_arch::simulator::{simulate_suite, SuiteReport};
+use refocus_arch::simulator::simulate_suite;
 use refocus_nn::models;
 
-/// Relative metrics of one ReFOCUS variant vs the PhotoFourier baseline.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Relative {
-    /// Relative throughput.
-    pub fps: f64,
-    /// Relative power efficiency.
-    pub fps_per_watt: f64,
-    /// Relative area efficiency.
-    pub fps_per_mm2: f64,
-    /// Relative PAP.
-    pub pap: f64,
-    /// Relative inverse EDP.
-    pub inverse_edp: f64,
-}
-
-fn relative(new: &SuiteReport, base: &SuiteReport) -> Relative {
-    Relative {
-        fps: new.geomean_fps() / base.geomean_fps(),
-        fps_per_watt: new.geomean_fps_per_watt() / base.geomean_fps_per_watt(),
-        fps_per_mm2: new.geomean_fps_per_mm2() / base.geomean_fps_per_mm2(),
-        pap: new.geomean_pap() / base.geomean_pap(),
-        inverse_edp: new.geomean_inverse_edp() / base.geomean_inverse_edp(),
-    }
-}
+/// Relative metrics of one ReFOCUS variant vs the PhotoFourier baseline
+/// (the shared ratio math in [`refocus_arch::attribution`]).
+pub type Relative = RelativeMetrics;
 
 /// Computes (FF-relative, FB-relative) vs the baseline.
 pub fn compute() -> (Relative, Relative) {
@@ -39,7 +19,10 @@ pub fn compute() -> (Relative, Relative) {
     let base = simulate_suite(&suite, &AcceleratorConfig::photofourier_baseline()).unwrap();
     let ff = simulate_suite(&suite, &AcceleratorConfig::refocus_ff()).unwrap();
     let fb = simulate_suite(&suite, &AcceleratorConfig::refocus_fb()).unwrap();
-    (relative(&ff, &base), relative(&fb, &base))
+    (
+        relative_suite_metrics(&ff, &base),
+        relative_suite_metrics(&fb, &base),
+    )
 }
 
 /// Regenerates Fig. 11.

@@ -2,38 +2,17 @@
 //! (b) area breakdown of the baseline's photonic components.
 
 use crate::render::{fmt_f, Experiment, Table};
+use refocus_arch::attribution::suite_power_shares;
 use refocus_arch::config::AcceleratorConfig;
 use refocus_arch::simulator::simulate_suite;
-use refocus_arch::SuiteReport;
 use refocus_nn::models;
 
-/// Suite-averaged power shares of a configuration.
+/// Suite-averaged power shares of a configuration (the shared
+/// breakdown math in [`refocus_arch::attribution`]).
 pub fn power_shares(config: &AcceleratorConfig) -> (f64, Vec<(&'static str, f64)>) {
     let suite = models::evaluation_suite();
     let report = simulate_suite(&suite, config).expect("suite maps");
-    shares_of(&report)
-}
-
-fn shares_of(report: &SuiteReport) -> (f64, Vec<(&'static str, f64)>) {
-    // Average power = mean over networks of per-network average power;
-    // shares from summed energies weighted by time.
-    let mean_power = report.mean_power_w();
-    let mut totals: Vec<(&'static str, f64)> = Vec::new();
-    let mut grand = 0.0;
-    for r in &report.reports {
-        for (label, e) in r.energy.rows() {
-            match totals.iter_mut().find(|(l, _)| *l == label) {
-                Some((_, v)) => *v += e.value(),
-                None => totals.push((label, e.value())),
-            }
-            grand += e.value();
-        }
-    }
-    let shares = totals
-        .into_iter()
-        .map(|(l, v)| (l, v / grand))
-        .collect::<Vec<_>>();
-    (mean_power, shares)
+    suite_power_shares(&report)
 }
 
 /// Regenerates Fig. 3.

@@ -25,9 +25,12 @@
 //! | [`ablations`] | extensions: slow light (§7.5), batching, WDM walk-off (§4.2.3), HBM3 (§7.3) |
 //! | [`fault_study`] | extension: fault-injection campaign (error vs severity) |
 //! | [`summary`] | headline reproduction scorecard |
+//! | [`obs_report`] | extension: render/diff attribution-ledger breakdowns |
 //!
 //! The `report` binary prints everything:
 //! `cargo run -p refocus-experiments --bin report [--experiment fig11] [--json]`.
+//! The `obs-report` binary renders and diffs the obs summary JSON a traced
+//! run exports: `obs-report render run.json`, `obs-report diff a.json b.json`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -42,6 +45,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod obs_report;
 pub mod render;
 pub mod sec2_2;
 pub mod sec7_3;

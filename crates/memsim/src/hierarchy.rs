@@ -35,6 +35,19 @@ impl Level {
         Level::OutputBuffer,
         Level::Dram,
     ];
+
+    /// Stable snake_case identifier used as the attribution-ledger
+    /// component key for this level (the human-facing label is
+    /// [`fmt::Display`]).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Level::ActivationSram => "activation_sram",
+            Level::WeightSram => "weight_sram",
+            Level::InputBuffer => "input_buffer",
+            Level::OutputBuffer => "output_buffer",
+            Level::Dram => "dram",
+        }
+    }
 }
 
 impl fmt::Display for Level {

@@ -150,6 +150,19 @@ impl Network {
         &self.layers
     }
 
+    /// Stable identity of layer `idx` for attribution rows:
+    /// `"{idx:03}:{layer name}"`. The zero-padded execution index keeps
+    /// lexicographic order equal to execution order (no evaluated CNN
+    /// exceeds 999 layers) and disambiguates repeated layer names
+    /// (ResNet blocks reuse `conv2_x`-style names).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn layer_id(&self, idx: usize) -> String {
+        format!("{idx:03}:{}", self.layers[idx].name)
+    }
+
     /// Total MACs over all layers.
     pub fn total_macs(&self) -> u64 {
         self.layers.iter().map(ConvSpec::macs).sum()

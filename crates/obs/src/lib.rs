@@ -22,7 +22,30 @@
 //!   per-thread cap, a chrome `trace_event` with nanosecond timestamps.
 //! - [`counter`]: named monotonically-summed integers (plan-cache hits,
 //!   optical passes, checkpoint bytes, retry counts, ...).
-//! - [`observe`]: named scalar distributions (count/sum/min/max).
+//! - [`observe`]: named scalar distributions (count/sum/min/max plus
+//!   exact p50/p95/p99 while total observations stay under
+//!   [`VALUE_SAMPLE_CAP`] per thread; a deterministic reservoir takes
+//!   over beyond the cap and the summary flags the estimate as inexact).
+//!
+//! # The attribution ledger
+//!
+//! Spans answer *where wall-clock went in the simulator*; the ledger
+//! answers *where joules/cycles/bytes went in the modeled hardware*. It
+//! is a map of typed counter **families** keyed by `(family, row,
+//! component)` — e.g. family `"energy.joules"`, row
+//! `"refocus-fb/AlexNet/000:conv1"`, component `"laser"` — fed by
+//! [`ledger_add_f64`] / [`ledger_add_u64`] (monotone sums) and
+//! [`ledger_set_f64`] (max-wins gauges). Each `add` also buffers a
+//! timestamped sample so [`Report::to_chrome_trace`] can append
+//! cumulative `ph:"C"` counter tracks after the span events, and
+//! [`Report::to_json`] embeds every cell in a versioned
+//! `refocus-obs-breakdown/v1` section.
+//!
+//! Sum cells merge across threads by addition, which is exact for `u64`
+//! and order-sensitive for `f64`; instrumentation in this workspace
+//! writes each `f64` cell from exactly one thread per session (rows are
+//! disjoint per network/layer), so merged ledgers are bit-identical at
+//! any thread count. Gauges merge by `max`, which is order-independent.
 //!
 //! # Threads and the work-stealing pool
 //!
@@ -69,6 +92,18 @@ use std::time::Instant;
 /// per-event timeline stops growing, and the number of dropped events is
 /// reported in the summary so truncation is never silent.
 const MAX_EVENTS_PER_THREAD: usize = 1 << 18;
+
+/// Per-thread cap on retained [`observe`] samples per name. Below the cap
+/// percentiles are exact (every observation is retained and sorted at
+/// merge time); beyond it a deterministic Algorithm-R reservoir keeps a
+/// uniform subsample and [`ValueDist::exact`] reports `false`.
+pub const VALUE_SAMPLE_CAP: usize = 4096;
+
+/// Per-thread cap on buffered timestamped ledger samples (the chrome
+/// counter-track timeline). Ledger cell aggregates keep accumulating past
+/// the cap; only the timeline stops growing, and the drop count is
+/// surfaced in the summary.
+pub const LEDGER_SAMPLE_CAP: usize = 1 << 14;
 
 static RECORDING: AtomicBool = AtomicBool::new(false);
 static EPOCH: AtomicU64 = AtomicU64::new(0);
@@ -233,6 +268,158 @@ impl ValueStat {
     }
 }
 
+/// Scalar distribution with retained samples for percentile queries.
+///
+/// Wraps a [`ValueStat`] aggregate plus up to [`VALUE_SAMPLE_CAP`]
+/// retained samples per recording thread. While every observation fits in
+/// the retained set, percentiles are **exact** (nearest-rank over the
+/// sorted sample multiset, so they are also identical at any thread
+/// count); past the cap a deterministic Algorithm-R reservoir — indexed
+/// by a SplitMix64 hash of the per-thread observation count, so reruns of
+/// a deterministic workload reproduce the same reservoir — keeps a
+/// uniform subsample and [`ValueDist::exact`] turns `false`.
+#[derive(Debug, Clone, Default)]
+pub struct ValueDist {
+    stat: ValueStat,
+    samples: Vec<f64>,
+}
+
+impl ValueDist {
+    fn record(&mut self, v: f64) {
+        self.stat.record(v);
+        if self.samples.len() < VALUE_SAMPLE_CAP {
+            self.samples.push(v);
+        } else {
+            // Algorithm R: the i-th observation replaces a retained slot
+            // with probability cap/i. SplitMix64 of the observation index
+            // stands in for an RNG so the choice is reproducible.
+            let j = (splitmix64(self.stat.count) % self.stat.count) as usize;
+            if j < VALUE_SAMPLE_CAP {
+                self.samples[j] = v;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &ValueDist) {
+        self.stat.merge(&other.stat);
+        // Merged reports keep every thread's retained set (bounded by
+        // threads x cap); percentiles stay exact as long as no thread
+        // overflowed its reservoir.
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    fn sort_samples(&mut self) {
+        self.samples.sort_by(f64::total_cmp);
+    }
+
+    /// The count/sum/min/max aggregate.
+    pub fn stat(&self) -> &ValueStat {
+        &self.stat
+    }
+
+    /// `true` when every observation was retained, making percentiles
+    /// exact rather than reservoir estimates.
+    pub fn exact(&self) -> bool {
+        self.stat.count == self.samples.len() as u64
+    }
+
+    /// Nearest-rank percentile over the retained samples; `q` in
+    /// `[0, 100]`. Returns 0 for an empty distribution.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.len();
+        let rank = ((q / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Median (nearest-rank p50).
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile (nearest-rank).
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile (nearest-rank).
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer used as a stateless,
+/// reproducible hash of an observation index.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A typed cell in the attribution ledger.
+///
+/// Families must use one variant per `(family, row, component)` key;
+/// merging mismatched variants keeps the first value seen and counts as
+/// an instrumentation bug.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LedgerValue {
+    /// Monotonically summed float quantity (joules, seconds).
+    SumF64(f64),
+    /// Monotonically summed integer quantity (cycles, bytes, accesses).
+    SumU64(u64),
+    /// Max-wins gauge (areas, derived per-run metrics): re-recording the
+    /// same value is idempotent, and merge order never matters.
+    GaugeF64(f64),
+}
+
+impl LedgerValue {
+    fn merge(&mut self, other: &LedgerValue) {
+        match (self, other) {
+            (LedgerValue::SumF64(a), LedgerValue::SumF64(b)) => *a += b,
+            (LedgerValue::SumU64(a), LedgerValue::SumU64(b)) => *a += b,
+            (LedgerValue::GaugeF64(a), LedgerValue::GaugeF64(b)) => *a = a.max(*b),
+            _ => {}
+        }
+    }
+
+    /// The cell value as an `f64` (lossy for sums above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            LedgerValue::SumF64(v) | LedgerValue::GaugeF64(v) => v,
+            LedgerValue::SumU64(v) => v as f64,
+        }
+    }
+
+    /// The schema tag rendered into the breakdown JSON (`"sum_f64"`,
+    /// `"sum_u64"`, or `"gauge_f64"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LedgerValue::SumF64(_) => "sum_f64",
+            LedgerValue::SumU64(_) => "sum_u64",
+            LedgerValue::GaugeF64(_) => "gauge_f64",
+        }
+    }
+}
+
+/// One timestamped ledger increment, buffered for the chrome
+/// counter-track export. Only sum cells sample; gauges do not.
+#[derive(Debug, Clone, Copy)]
+pub struct LedgerSample {
+    /// Counter family (the chrome counter-track name).
+    pub family: &'static str,
+    /// Component series within the family's track.
+    pub component: &'static str,
+    /// Offset from the process time origin, nanoseconds.
+    pub ts_ns: u64,
+    /// The increment recorded at this instant.
+    pub value: f64,
+}
+
+type LedgerKey = (&'static str, Box<str>, &'static str);
+
 struct SinkData {
     epoch: u64,
     tid: u32,
@@ -240,7 +427,10 @@ struct SinkData {
     dropped: u64,
     spans: BTreeMap<&'static str, SpanStat>,
     counters: BTreeMap<&'static str, u64>,
-    values: BTreeMap<&'static str, ValueStat>,
+    values: BTreeMap<&'static str, ValueDist>,
+    ledger: BTreeMap<LedgerKey, LedgerValue>,
+    ledger_samples: Vec<LedgerSample>,
+    ledger_samples_dropped: u64,
 }
 
 impl SinkData {
@@ -253,6 +443,35 @@ impl SinkData {
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
             values: BTreeMap::new(),
+            ledger: BTreeMap::new(),
+            ledger_samples: Vec::new(),
+            ledger_samples_dropped: 0,
+        }
+    }
+
+    fn ledger_record(
+        &mut self,
+        family: &'static str,
+        row: &str,
+        component: &'static str,
+        value: LedgerValue,
+        ts_ns: Option<u64>,
+    ) {
+        self.ledger
+            .entry((family, Box::from(row), component))
+            .and_modify(|cell| cell.merge(&value))
+            .or_insert(value);
+        if let Some(ts_ns) = ts_ns {
+            if self.ledger_samples.len() < LEDGER_SAMPLE_CAP {
+                self.ledger_samples.push(LedgerSample {
+                    family,
+                    component,
+                    ts_ns,
+                    value: value.as_f64(),
+                });
+            } else {
+                self.ledger_samples_dropped += 1;
+            }
         }
     }
 }
@@ -407,6 +626,60 @@ pub fn observe(name: &'static str, value: f64) {
     with_local(|d| d.values.entry(name).or_default().record(value));
 }
 
+/// Adds `value` to the `(family, row, component)` ledger cell as a
+/// monotone `f64` sum and buffers a timestamped sample for the chrome
+/// counter track. Non-finite values are ignored. `row` is only
+/// materialised while recording, so callers may format it behind a
+/// [`recording`] check or pass a pre-built string.
+#[inline]
+pub fn ledger_add_f64(family: &'static str, row: &str, component: &'static str, value: f64) {
+    if !recording() || !value.is_finite() {
+        return;
+    }
+    let ts_ns = Instant::now().duration_since(origin()).as_nanos() as u64;
+    with_local(|d| {
+        d.ledger_record(
+            family,
+            row,
+            component,
+            LedgerValue::SumF64(value),
+            Some(ts_ns),
+        )
+    });
+}
+
+/// Adds `value` to the `(family, row, component)` ledger cell as a
+/// monotone `u64` sum (cycles, bytes, access counts) and buffers a
+/// timestamped sample for the chrome counter track.
+#[inline]
+pub fn ledger_add_u64(family: &'static str, row: &str, component: &'static str, value: u64) {
+    if !recording() {
+        return;
+    }
+    let ts_ns = Instant::now().duration_since(origin()).as_nanos() as u64;
+    with_local(|d| {
+        d.ledger_record(
+            family,
+            row,
+            component,
+            LedgerValue::SumU64(value),
+            Some(ts_ns),
+        )
+    });
+}
+
+/// Sets the `(family, row, component)` ledger cell to a max-wins gauge:
+/// re-recording the same value is idempotent and merge order never
+/// matters, which is what per-run quantities (areas, derived metrics)
+/// need under repeated simulation. Gauges record no timeline sample.
+#[inline]
+pub fn ledger_set_f64(family: &'static str, row: &str, component: &'static str, value: f64) {
+    if !recording() || !value.is_finite() {
+        return;
+    }
+    with_local(|d| d.ledger_record(family, row, component, LedgerValue::GaugeF64(value), None));
+}
+
 // ---------------------------------------------------------------------------
 // Collector
 // ---------------------------------------------------------------------------
@@ -491,7 +764,11 @@ impl Collector {
         for sink in sinks.iter().filter(|d| d.epoch == epoch) {
             report.threads += 1;
             report.dropped_events += sink.dropped;
+            report.dropped_ledger_samples += sink.ledger_samples_dropped;
             report.events.extend(sink.events.iter().cloned());
+            report
+                .ledger_samples
+                .extend_from_slice(&sink.ledger_samples);
             for (name, stat) in &sink.spans {
                 report.spans.entry(name).or_default().merge(stat);
             }
@@ -501,12 +778,26 @@ impl Collector {
             for (name, stat) in &sink.values {
                 report.values.entry(name).or_default().merge(stat);
             }
+            for (key, cell) in &sink.ledger {
+                report
+                    .ledger
+                    .entry(key.clone())
+                    .and_modify(|c| c.merge(cell))
+                    .or_insert(*cell);
+            }
+        }
+        // Percentile queries index the sorted multiset; sort once here.
+        for dist in report.values.values_mut() {
+            dist.sort_samples();
         }
         // Chronological order (ties: thread id, then longest first so
         // parents precede the children they enclose).
         report
             .events
             .sort_by_key(|e| (e.start_ns, e.tid, std::cmp::Reverse(e.dur_ns)));
+        report.ledger_samples.sort_by(|a, b| {
+            (a.ts_ns, a.family, a.component).cmp(&(b.ts_ns, b.family, b.component))
+        });
         Some(report)
     }
 }
@@ -530,9 +821,12 @@ pub struct Report {
     duration_ns: u64,
     threads: usize,
     dropped_events: u64,
+    dropped_ledger_samples: u64,
     spans: BTreeMap<&'static str, SpanStat>,
     counters: BTreeMap<&'static str, u64>,
-    values: BTreeMap<&'static str, ValueStat>,
+    values: BTreeMap<&'static str, ValueDist>,
+    ledger: BTreeMap<LedgerKey, LedgerValue>,
+    ledger_samples: Vec<LedgerSample>,
     events: Vec<Event>,
 }
 
@@ -543,9 +837,12 @@ impl Report {
             duration_ns: 0,
             threads: 0,
             dropped_events: 0,
+            dropped_ledger_samples: 0,
             spans: BTreeMap::new(),
             counters: BTreeMap::new(),
             values: BTreeMap::new(),
+            ledger: BTreeMap::new(),
+            ledger_samples: Vec::new(),
             events: Vec::new(),
         }
     }
@@ -560,6 +857,7 @@ impl Report {
         self.spans.is_empty()
             && self.counters.is_empty()
             && self.values.is_empty()
+            && self.ledger.is_empty()
             && self.events.is_empty()
     }
 
@@ -588,9 +886,39 @@ impl Report {
         self.spans.get(name)
     }
 
+    /// Chrome-trace ledger samples dropped to the per-thread buffer cap.
+    pub fn dropped_ledger_samples(&self) -> u64 {
+        self.dropped_ledger_samples
+    }
+
     /// Aggregate stats for the named [`observe`]d scalar.
     pub fn value(&self, name: &str) -> Option<&ValueStat> {
+        self.values.get(name).map(|d| &d.stat)
+    }
+
+    /// The full sampled distribution for the named [`observe`]d scalar,
+    /// including percentile accessors.
+    pub fn value_dist(&self, name: &str) -> Option<&ValueDist> {
         self.values.get(name)
+    }
+
+    /// The named ledger cell, if recorded.
+    pub fn ledger_value(&self, family: &str, row: &str, component: &str) -> Option<LedgerValue> {
+        self.ledger
+            .iter()
+            .find(|((f, r, c), _)| *f == family && &**r == row && *c == component)
+            .map(|(_, v)| *v)
+    }
+
+    /// All ledger cells as `(family, row, component, value)`, sorted by
+    /// key (family, then row, then component).
+    pub fn ledger_cells(&self) -> impl Iterator<Item = (&str, &str, &str, LedgerValue)> + '_ {
+        self.ledger.iter().map(|((f, r, c), v)| (*f, &**r, *c, *v))
+    }
+
+    /// The timestamped ledger samples, chronologically sorted.
+    pub fn ledger_samples(&self) -> &[LedgerSample] {
+        &self.ledger_samples
     }
 
     /// All span aggregates, sorted by name.
@@ -609,14 +937,23 @@ impl Report {
     }
 
     /// Renders the aggregate summary as JSON
-    /// (schema `refocus-obs-summary/v1`).
+    /// (schema `refocus-obs-summary/v2`).
+    ///
+    /// v2 extends v1 with `p50`/`p95`/`p99`/`exact` on each histogram
+    /// entry, a `dropped_ledger_samples` field, and an embedded
+    /// `breakdown` object (schema `refocus-obs-breakdown/v1`) carrying
+    /// every attribution-ledger cell grouped by family.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"schema\": \"refocus-obs-summary/v1\",\n");
+        out.push_str("{\n  \"schema\": \"refocus-obs-summary/v2\",\n");
         let _ = write!(
             out,
-            "  \"enabled\": {},\n  \"duration_ns\": {},\n  \"threads\": {},\n  \"dropped_events\": {},\n",
-            self.enabled, self.duration_ns, self.threads, self.dropped_events
+            "  \"enabled\": {},\n  \"duration_ns\": {},\n  \"threads\": {},\n  \"dropped_events\": {},\n  \"dropped_ledger_samples\": {},\n",
+            self.enabled,
+            self.duration_ns,
+            self.threads,
+            self.dropped_events,
+            self.dropped_ledger_samples
         );
         out.push_str("  \"spans\": [");
         for (i, (name, s)) in self.spans.iter().enumerate() {
@@ -657,40 +994,95 @@ impl Report {
             "\n  ],\n"
         });
         out.push_str("  \"histograms\": [");
-        for (i, (name, s)) in self.values.iter().enumerate() {
+        for (i, (name, d)) in self.values.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            let s = &d.stat;
             let _ = write!(
                 out,
-                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}}}",
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"exact\": {}}}",
                 escape_json(name),
                 s.count,
                 json_f64(s.sum),
                 json_f64(s.mean()),
                 json_f64(s.min),
-                json_f64(s.max)
+                json_f64(s.max),
+                json_f64(d.p50()),
+                json_f64(d.p95()),
+                json_f64(d.p99()),
+                d.exact()
             );
         }
         out.push_str(if self.values.is_empty() {
-            "]\n"
+            "],\n"
         } else {
-            "\n  ]\n"
+            "\n  ],\n"
         });
+        out.push_str("  \"breakdown\": {\n    \"schema\": \"refocus-obs-breakdown/v1\",\n    \"families\": [");
+        let mut family_open: Option<&str> = None;
+        let mut first_cell = true;
+        let mut first_family = true;
+        for (key, cell) in &self.ledger {
+            let (family, row, component) = (key.0, &*key.1, key.2);
+            if family_open != Some(family) {
+                if family_open.is_some() {
+                    out.push_str("\n        ]\n      }");
+                }
+                if !first_family {
+                    out.push(',');
+                }
+                first_family = false;
+                let _ = write!(
+                    out,
+                    "\n      {{\n        \"name\": \"{}\",\n        \"cells\": [",
+                    escape_json(family)
+                );
+                family_open = Some(family);
+                first_cell = true;
+            }
+            if !first_cell {
+                out.push(',');
+            }
+            first_cell = false;
+            let value = match cell {
+                LedgerValue::SumU64(v) => v.to_string(),
+                LedgerValue::SumF64(v) | LedgerValue::GaugeF64(v) => json_f64(*v),
+            };
+            let _ = write!(
+                out,
+                "\n          {{\"row\": \"{}\", \"component\": \"{}\", \"kind\": \"{}\", \"value\": {}}}",
+                escape_json(row),
+                escape_json(component),
+                cell.kind(),
+                value
+            );
+        }
+        if family_open.is_some() {
+            out.push_str("\n        ]\n      }\n    ]\n  }\n");
+        } else {
+            out.push_str("]\n  }\n");
+        }
         out.push_str("}\n");
         out
     }
 
     /// Renders the timeline as a Chrome `trace_event` JSON array
-    /// ("complete" `ph: "X"` events, microsecond timestamps). Open it at
-    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    /// ("complete" `ph: "X"` events, microsecond timestamps), followed by
+    /// one cumulative counter track (`ph: "C"`) per ledger family so
+    /// Perfetto shows joules/bytes/cycles accumulating across layers
+    /// alongside the span tree. Open it at `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
     pub fn to_chrome_trace(&self) -> String {
-        let mut out = String::with_capacity(64 + 128 * self.events.len());
+        let mut out =
+            String::with_capacity(64 + 128 * (self.events.len() + self.ledger_samples.len()));
         out.push('[');
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for e in &self.events {
+            if !first {
                 out.push(',');
             }
+            first = false;
             let _ = write!(
                 out,
                 "\n{{\"name\": \"{}\", \"cat\": \"refocus\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}",
@@ -704,11 +1096,32 @@ impl Report {
             }
             out.push('}');
         }
-        out.push_str(if self.events.is_empty() {
-            "]\n"
-        } else {
-            "\n]\n"
-        });
+        // Counter events carry the cumulative value of every component
+        // series in the family at each sample instant; Perfetto stacks
+        // the series into one track named after the family.
+        let mut cumulative: BTreeMap<&str, BTreeMap<&str, f64>> = BTreeMap::new();
+        for s in &self.ledger_samples {
+            let series = cumulative.entry(s.family).or_default();
+            *series.entry(s.component).or_insert(0.0) += s.value;
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{{\"name\": \"{}\", \"cat\": \"refocus\", \"ph\": \"C\", \"ts\": {}, \"pid\": 1, \"args\": {{",
+                escape_json(s.family),
+                micros(s.ts_ns)
+            );
+            for (i, (component, value)) in series.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {}", escape_json(component), json_f64(*value));
+            }
+            out.push_str("}}");
+        }
+        out.push_str(if first { "]\n" } else { "\n]\n" });
         out
     }
 
@@ -854,5 +1267,106 @@ mod tests {
         assert_eq!(escape_json("a\"b\\c\n\u{1}"), "a\\\"b\\\\c\\n\\u0001");
         assert_eq!(micros(1_234_567), "1234.567");
         assert_eq!(json_f64(-0.0), "0");
+    }
+
+    #[test]
+    fn ledger_cells_sum_set_and_export() {
+        let _g = serial();
+        let c = Collector::enabled();
+        ledger_add_f64("unit.energy", "net/000:conv1", "laser", 1.5);
+        ledger_add_f64("unit.energy", "net/000:conv1", "laser", 0.25);
+        ledger_add_f64("unit.energy", "net/000:conv1", "adc", 0.5);
+        ledger_add_u64("unit.bytes", "net/000:conv1", "dram", 4096);
+        ledger_add_u64("unit.bytes", "net/000:conv1", "dram", 1024);
+        ledger_set_f64("unit.area", "cfg", "lenses", 3.0);
+        ledger_set_f64("unit.area", "cfg", "lenses", 3.0); // idempotent
+        ledger_add_f64("unit.energy", "net/000:conv1", "nan", f64::NAN); // ignored
+        let report = c.finish();
+        assert_eq!(
+            report.ledger_value("unit.energy", "net/000:conv1", "laser"),
+            Some(LedgerValue::SumF64(1.75))
+        );
+        assert_eq!(
+            report.ledger_value("unit.bytes", "net/000:conv1", "dram"),
+            Some(LedgerValue::SumU64(5120))
+        );
+        assert_eq!(
+            report.ledger_value("unit.area", "cfg", "lenses"),
+            Some(LedgerValue::GaugeF64(3.0))
+        );
+        assert!(report
+            .ledger_value("unit.energy", "net/000:conv1", "nan")
+            .is_none());
+        // Cells iterate in (family, row, component) order.
+        let cells: Vec<_> = report.ledger_cells().collect();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].0, "unit.area");
+        // Sum adds produced timeline samples; the gauge did not.
+        assert_eq!(report.ledger_samples().len(), 5);
+        // Breakdown JSON carries the versioned section and typed kinds.
+        let json = report.to_json();
+        assert!(json.contains("refocus-obs-summary/v2"));
+        assert!(json.contains("refocus-obs-breakdown/v1"));
+        assert!(json.contains("\"kind\": \"sum_u64\", \"value\": 5120"));
+        assert!(json.contains("\"kind\": \"gauge_f64\""));
+        // Chrome trace gains cumulative ph:"C" counter events.
+        let trace = report.to_chrome_trace();
+        assert!(trace.contains("\"ph\": \"C\""));
+        assert!(trace.contains("\"laser\": 1.75"));
+    }
+
+    #[test]
+    fn ledger_disabled_records_nothing() {
+        let _g = serial();
+        ledger_add_f64("unit.off", "row", "c", 1.0);
+        ledger_add_u64("unit.off", "row", "c", 1);
+        ledger_set_f64("unit.off", "row", "c", 1.0);
+        let c = Collector::enabled();
+        let report = c.finish();
+        assert!(report.ledger_value("unit.off", "row", "c").is_none());
+        assert_eq!(report.ledger_cells().count(), 0);
+    }
+
+    #[test]
+    fn percentiles_exact_below_cap() {
+        let _g = serial();
+        let c = Collector::enabled();
+        // 1..=100 in a scrambled (but deterministic) order.
+        for i in 0..100u64 {
+            let v = (i * 37 % 100 + 1) as f64;
+            observe("unit.pct", v);
+        }
+        let report = c.finish();
+        let d = report.value_dist("unit.pct").expect("observed");
+        assert!(d.exact());
+        assert_eq!(d.p50(), 50.0);
+        assert_eq!(d.p95(), 95.0);
+        assert_eq!(d.p99(), 99.0);
+        assert_eq!(d.percentile(0.0), 1.0);
+        assert_eq!(d.percentile(100.0), 100.0);
+        let json = report.to_json();
+        assert!(json.contains("\"p95\": 95"));
+        assert!(json.contains("\"exact\": true"));
+    }
+
+    #[test]
+    fn percentiles_reservoir_beyond_cap() {
+        let _g = serial();
+        let c = Collector::enabled();
+        let n = VALUE_SAMPLE_CAP as u64 * 2;
+        for i in 0..n {
+            observe("unit.res", i as f64);
+        }
+        let report = c.finish();
+        let d = report.value_dist("unit.res").expect("observed");
+        assert!(!d.exact());
+        assert_eq!(d.stat().count, n);
+        // The reservoir is a uniform subsample of 0..n; the median
+        // estimate must land well inside the middle half.
+        let p50 = d.p50();
+        assert!(
+            p50 > n as f64 * 0.25 && p50 < n as f64 * 0.75,
+            "reservoir p50 {p50} out of range for n={n}"
+        );
     }
 }

@@ -86,6 +86,20 @@ impl Laser {
         self.min_power_per_waveguide * overhead_factor
     }
 
+    /// The *excess* per-waveguide power spent purely on compensating
+    /// optical-buffer losses: [`Laser::average_power`] minus the unity-
+    /// overhead minimum. Zero at `overhead_factor == 1` (no buffer, or a
+    /// lossless path); this is the quantity the attribution ledger books
+    /// as the buffer's laser overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overhead_factor < 1` (same contract as
+    /// [`Laser::average_power`]).
+    pub fn compensation_power(&self, overhead_factor: f64) -> MilliWatts {
+        self.average_power(overhead_factor) - self.min_power_per_waveguide
+    }
+
     /// Electrical power drawn to emit `optical` power.
     pub fn electrical_power(&self, optical: MilliWatts) -> MilliWatts {
         optical / self.wall_plug_efficiency
